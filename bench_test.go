@@ -1,0 +1,242 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation, plus microbenchmarks of the
+// compression primitives and the simulator core.
+//
+// Each BenchmarkFigNN/TableN regenerates its exhibit end-to-end (all
+// simulations included) at Small scale on a 4-SM device, and reports the
+// exhibit's headline number as a custom metric. The figure-quality runs use
+// `go run ./cmd/warpedbench -exp all` at medium scale.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/warped"
+)
+
+// benchOpts is the Small-scale, 4-SM setup the harness uses so that one
+// exhibit regeneration stays around a second.
+func benchOpts() experiments.Options {
+	base := sim.DefaultConfig()
+	base.NumSMs = 4
+	return experiments.Options{Scale: kernels.Small, Base: &base}
+}
+
+// benchExhibit regenerates one exhibit per iteration and reports `metric`
+// extracted from the resulting table.
+func benchExhibit(b *testing.B, id string, metricName string, metric func(*experiments.Table) float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		tab, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			last = metric(tab)
+		}
+	}
+	if metric != nil && metricName != "" && !math.IsNaN(last) {
+		b.ReportMetric(last, metricName)
+	}
+}
+
+// avgCol returns the named column's value in the AVG row.
+func avgCol(tab *experiments.Table, col string) float64 {
+	ci := -1
+	for i, c := range tab.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return math.NaN()
+	}
+	for _, row := range tab.Rows {
+		if row.Label == "AVG" {
+			return row.Values[ci]
+		}
+	}
+	return math.NaN()
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExhibit(b, "table1", "", nil)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchExhibit(b, "table2", "", nil)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	benchExhibit(b, "table3", "", nil)
+}
+
+func BenchmarkFig2(b *testing.B) {
+	benchExhibit(b, "fig2", "nondiv-random-frac", func(t *experiments.Table) float64 {
+		return avgCol(t, "nd-random")
+	})
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExhibit(b, "fig3", "nondiv-ratio", func(t *experiments.Table) float64 {
+		return avgCol(t, "non-divergent")
+	})
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExhibit(b, "fig5", "best-is-4-0-frac", func(t *experiments.Table) float64 {
+		return avgCol(t, "<4,0>")
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	benchExhibit(b, "fig8", "comp-ratio-nondiv", func(t *experiments.Table) float64 {
+		return avgCol(t, "non-divergent")
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	benchExhibit(b, "fig9", "wc-energy-norm", func(t *experiments.Table) float64 {
+		return avgCol(t, "wc-total")
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchExhibit(b, "fig10", "", nil)
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExhibit(b, "fig11", "dummy-mov-frac", func(t *experiments.Table) float64 {
+		return avgCol(t, "mov-fraction")
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	benchExhibit(b, "fig12", "compressed-frac-nondiv", func(t *experiments.Table) float64 {
+		return avgCol(t, "non-divergent")
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	benchExhibit(b, "fig13", "norm-cycles", func(t *experiments.Table) float64 {
+		return avgCol(t, "normalized-cycles")
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	benchExhibit(b, "fig14", "lrr-energy-norm", func(t *experiments.Table) float64 {
+		return avgCol(t, "lrr")
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	benchExhibit(b, "fig15", "only40-ratio", func(t *experiments.Table) float64 {
+		return avgCol(t, "<4,0>")
+	})
+}
+
+func BenchmarkFig16(b *testing.B) {
+	benchExhibit(b, "fig16", "only40-energy-norm", func(t *experiments.Table) float64 {
+		return avgCol(t, "<4,0>")
+	})
+}
+
+func BenchmarkFig17(b *testing.B) {
+	benchExhibit(b, "fig17", "energy-at-2.5x-unit", func(t *experiments.Table) float64 {
+		return avgCol(t, "2.5x")
+	})
+}
+
+func BenchmarkFig18(b *testing.B) {
+	benchExhibit(b, "fig18", "energy-at-2.5x-bank", func(t *experiments.Table) float64 {
+		return avgCol(t, "2.5x")
+	})
+}
+
+func BenchmarkFig19(b *testing.B) {
+	benchExhibit(b, "fig19", "energy-at-100pct-wire", func(t *experiments.Table) float64 {
+		return avgCol(t, "100%")
+	})
+}
+
+func BenchmarkFig20(b *testing.B) {
+	benchExhibit(b, "fig20", "cycles-at-8cy-comp", func(t *experiments.Table) float64 {
+		return avgCol(t, "8cy")
+	})
+}
+
+func BenchmarkFig21(b *testing.B) {
+	benchExhibit(b, "fig21", "cycles-at-8cy-decomp", func(t *experiments.Table) float64 {
+		return avgCol(t, "8cy")
+	})
+}
+
+// --- Microbenchmarks of the primitives underlying every figure ---
+
+// BenchmarkBDICompress measures the software model of the compressor's
+// choice logic on an affine (stride-1) register.
+func BenchmarkBDICompress(b *testing.B) {
+	var w warped.WarpReg
+	for i := range w {
+		w[i] = uint32(1000 + i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if warped.ChooseEncoding(warped.ModeWarped, &w) != warped.Enc41 {
+			b.Fatal("wrong encoding")
+		}
+	}
+}
+
+// BenchmarkBDIRoundTrip measures full byte-level compress + decompress.
+func BenchmarkBDIRoundTrip(b *testing.B) {
+	var w warped.WarpReg
+	for i := range w {
+		w[i] = uint32(3 * i) // deltas to the single base stay within 1 byte
+	}
+	data := w.Bytes()
+	p := warped.BDIParams{Base: 4, Delta: 1}
+	out := make([]byte, len(data))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		comp, ok := warped.Compress(data, p)
+		if !ok {
+			b.Fatal("not compressible")
+		}
+		if err := warped.Decompress(comp, p, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed in
+// cycles/second on the pathfinder workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := warped.DefaultConfig()
+		cfg.NumSMs = 4
+		gpu, err := warped.NewGPU(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench, _ := warped.BenchmarkByName("pathfinder")
+		inst, err := bench.Build(gpu.Mem(), warped.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := gpu.Run(inst.Launch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

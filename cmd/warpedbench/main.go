@@ -1,0 +1,90 @@
+// warpedbench regenerates the tables and figures of the warped-compression
+// paper (ISCA 2015) on the simulated GPU.
+//
+// Usage:
+//
+//	warpedbench -exp all                 # every exhibit, medium scale
+//	warpedbench -exp fig9,fig13 -v       # headline results with progress
+//	warpedbench -exp fig8 -benchmarks bfs,lib -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/warped"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated exhibit ids ("+strings.Join(warped.ExperimentIDs(), ",")+") or 'all'")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 20)")
+		scale   = flag.String("scale", "medium", "workload scale: small, medium or large")
+		out     = flag.String("o", "", "write output to file instead of stdout")
+		format  = flag.String("format", "text", "output format: text or csv")
+		verbose = flag.Bool("v", false, "log each simulation run")
+	)
+	flag.Parse()
+
+	opts := warped.ExperimentOptions{}
+	switch *scale {
+	case "small":
+		opts.Scale = warped.Small
+	case "medium":
+		opts.Scale = warped.Medium
+	case "large":
+		opts.Scale = warped.Large
+	default:
+		fatal("unknown scale %q", *scale)
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := warped.ExperimentIDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+
+	r := warped.NewExperimentRunner(opts)
+	for _, id := range ids {
+		t, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		switch *format {
+		case "text":
+			err = t.Render(w)
+		case "csv":
+			fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+			err = t.RenderCSV(w)
+		default:
+			fatal("unknown format %q", *format)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "warpedbench: "+format+"\n", args...)
+	os.Exit(1)
+}

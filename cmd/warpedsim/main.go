@@ -1,0 +1,179 @@
+// warpedsim runs a single benchmark (or a kernel from an assembly file) on
+// the simulated GPU and prints a run summary: cycles, divergence,
+// compression and energy statistics.
+//
+// Usage:
+//
+//	warpedsim -bench pathfinder
+//	warpedsim -bench bfs -mode off -scheduler lrr -scale large
+//	warpedsim -asm kernel.s -grid 30 -block 256
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/warped"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (one of the 20-workload suite)")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		asmFile = flag.String("asm", "", "run a kernel from an assembly file instead of a benchmark")
+		grid    = flag.Int("grid", 30, "grid size in CTAs (with -asm)")
+		block   = flag.Int("block", 256, "CTA size in threads (with -asm)")
+		scale   = flag.String("scale", "medium", "benchmark scale: small, medium, large")
+		mode    = flag.String("mode", "warped", "compression mode: off, warped, only40, only41, only42")
+		sched   = flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
+		sms     = flag.Int("sms", 15, "number of SMs")
+		compLat = flag.Int("complat", 2, "compression latency in cycles")
+		decLat  = flag.Int("decomplat", 1, "decompression latency in cycles")
+		compare = flag.Bool("compare", false, "also run the no-compression baseline and report deltas")
+		jsonOut = flag.Bool("json", false, "emit the run result as JSON instead of the text summary")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range warped.Benchmarks() {
+			fmt.Printf("%-11s [%s] %s\n", b.Name, b.Suite, b.Description)
+		}
+		return
+	}
+
+	cfg := warped.DefaultConfig()
+	cfg.NumSMs = *sms
+	cfg.Scheduler = *sched
+	cfg.CompressLatency = *compLat
+	cfg.DecompressLatency = *decLat
+	switch *mode {
+	case "off":
+		cfg.Mode, cfg.PowerGating = warped.ModeOff, false
+	case "warped":
+		cfg.Mode = warped.ModeWarped
+	case "only40":
+		cfg.Mode = warped.ModeOnly40
+	case "only41":
+		cfg.Mode = warped.ModeOnly41
+	case "only42":
+		cfg.Mode = warped.ModeOnly42
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+
+	var sc warped.Scale
+	switch *scale {
+	case "small":
+		sc = warped.Small
+	case "medium":
+		sc = warped.Medium
+	case "large":
+		sc = warped.Large
+	default:
+		fatal("unknown scale %q", *scale)
+	}
+
+	res, err := runOnce(cfg, *bench, *asmFile, sc, *grid, *block)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Cycles uint64
+			Stats  *warped.Stats
+			Energy warped.EnergyBreakdown
+		}{res.Cycles, &res.Stats, warped.ComputeEnergy(warped.DefaultEnergyParams(), res.Energy)}); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	printSummary(res)
+
+	if *compare {
+		base := cfg
+		base.Mode, base.PowerGating = warped.ModeOff, false
+		bres, err := runOnce(base, *bench, *asmFile, sc, *grid, *block)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		p := warped.DefaultEnergyParams()
+		e := warped.ComputeEnergy(p, res.Energy)
+		be := warped.ComputeEnergy(p, bres.Energy)
+		fmt.Printf("\nvs baseline (no compression):\n")
+		fmt.Printf("  execution time    %+0.2f%%\n", 100*(float64(res.Cycles)/float64(bres.Cycles)-1))
+		fmt.Printf("  total RF energy   %-0.1f%% saved\n", 100*(1-e.TotalPJ()/be.TotalPJ()))
+		fmt.Printf("  dynamic energy    %-0.1f%% saved\n", 100*(1-e.DynamicPJ/be.DynamicPJ))
+		fmt.Printf("  leakage energy    %-0.1f%% saved\n", 100*(1-e.LeakagePJ/be.LeakagePJ))
+	}
+}
+
+func runOnce(cfg warped.Config, bench, asmFile string, sc warped.Scale, grid, block int) (*warped.Result, error) {
+	gpu, err := warped.NewGPU(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case bench != "":
+		b, ok := warped.BenchmarkByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (use -list)", bench)
+		}
+		inst, err := b.Build(gpu.Mem(), sc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := gpu.Run(inst.Launch)
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.Check(gpu.Mem()); err != nil {
+			return nil, fmt.Errorf("output validation failed: %w", err)
+		}
+		return res, nil
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		k, err := warped.Assemble(asmFile, string(src))
+		if err != nil {
+			return nil, err
+		}
+		return gpu.Run(warped.Launch{Kernel: k, Grid: warped.Dim3{X: grid}, Block: warped.Dim3{X: block}})
+	}
+	return nil, fmt.Errorf("need -bench or -asm (or -list)")
+}
+
+func printSummary(res *warped.Result) {
+	s := &res.Stats
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("warp instructions   %d (%.1f%% divergent)\n", s.Instructions,
+		100*(1-s.NonDivergentRatio()))
+	fmt.Printf("dummy MOVs          %d (%.3f%% of instructions)\n", s.DummyMovs, 100*s.DummyMovRatio())
+	fmt.Printf("register writes     %d non-divergent, %d divergent\n",
+		s.RegWrites[warped.NonDivergent], s.RegWrites[warped.Divergent])
+	fmt.Printf("compression ratio   %.2f non-divergent", s.CompressionRatio(warped.NonDivergent))
+	if s.RegWrites[warped.Divergent] > 0 {
+		fmt.Printf(", %.2f divergent", s.CompressionRatio(warped.Divergent))
+	}
+	fmt.Println()
+	fmt.Printf("bank accesses       %d reads, %d writes\n", s.RF.BankReads, s.RF.BankWrites)
+	fmt.Printf("comp/decomp acts    %d / %d\n", s.CompActs, s.DecompActs)
+	gated := 1 - float64(s.RF.PoweredBankCycles)/float64(s.RF.Cycles*32)
+	if !math.IsNaN(gated) {
+		fmt.Printf("gated bank-cycles   %.1f%%\n", 100*gated)
+	}
+	e := warped.ComputeEnergy(warped.DefaultEnergyParams(), res.Energy)
+	fmt.Printf("RF energy           %.1f uJ (dyn %.1f, leak %.1f, comp %.1f, decomp %.1f)\n",
+		e.TotalPJ()/1e6, e.DynamicPJ/1e6, e.LeakagePJ/1e6, e.CompressPJ/1e6, e.DecompressPJ/1e6)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "warpedsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Quickstart: assemble a tiny SIMT kernel, run it on the simulated GPU with
+// warped-compression enabled, and print what the register file saw.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/warped"
+)
+
+// saxpy computes y[i] = a*x[i] + y[i] — the classic first CUDA kernel. The
+// thread-index-derived addresses compress with 1-byte deltas (<4,1>) and the
+// loaded data compresses according to its dynamic range, exactly the effect
+// the paper exploits.
+const saxpySrc = `
+.kernel saxpy
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // i = blockIdx.x*blockDim.x + tid
+	shl  r2, r1, 2                   // byte offset
+	add  r3, r2, %param0
+	ld.global r4, [r3]               // x[i]
+	add  r5, r2, %param1
+	ld.global r6, [r5]               // y[i]
+	mov  r7, %param2                 // a (bit pattern of a float)
+	fma  r8, r7, r4, r6              // a*x + y
+	st.global [r5], r8
+	exit
+`
+
+func main() {
+	gpu, err := warped.NewGPU(warped.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host setup: two 8K-element vectors.
+	const n = 8192
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i % 64)
+		y[i] = 1
+	}
+	mem := gpu.Mem()
+	xAddr, err := mem.Alloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yAddr, err := mem.Alloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mem.WriteFloat32(xAddr, x); err != nil {
+		log.Fatal(err)
+	}
+	if err := mem.WriteFloat32(yAddr, y); err != nil {
+		log.Fatal(err)
+	}
+
+	kernel, err := warped.Assemble("saxpy", saxpySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const a = float32(2.0)
+	res, err := gpu.Run(warped.Launch{
+		Kernel: kernel,
+		Grid:   warped.Dim3{X: n / 256},
+		Block:  warped.Dim3{X: 256},
+		Params: [8]uint32{xAddr, yAddr, floatBits(a)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify a few results on the host.
+	got, err := mem.ReadFloat32(yAddr, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("y[0..7] = %v\n", got)
+
+	s := &res.Stats
+	fmt.Printf("cycles: %d, warp instructions: %d\n", res.Cycles, s.Instructions)
+	fmt.Printf("register writes compressed at ratio %.2f\n",
+		s.CompressionRatio(warped.NonDivergent))
+	fmt.Printf("bank accesses: %d reads + %d writes (8 per access without compression)\n",
+		s.RF.BankReads, s.RF.BankWrites)
+
+	e := warped.ComputeEnergy(warped.DefaultEnergyParams(), res.Energy)
+	fmt.Printf("register file energy: %.2f uJ (dynamic %.2f, leakage %.2f, comp %.2f, decomp %.2f)\n",
+		e.TotalPJ()/1e6, e.DynamicPJ/1e6, e.LeakagePJ/1e6, e.CompressPJ/1e6, e.DecompressPJ/1e6)
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }

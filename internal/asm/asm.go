@@ -1,0 +1,510 @@
+// Package asm assembles textual kernels into isa.Kernel images.
+//
+// The syntax is a compact SASS/PTX hybrid, one instruction per line:
+//
+//	.kernel pathfinder      // kernel name (directive)
+//	.shared 1024            // per-CTA shared memory bytes (optional)
+//	    mov   r0, %tid.x    // specials read with % names
+//	    mad   r2, r1, 256, r0
+//	    setp.lt p0, r0, 16  // predicate compare
+//	@p0 bra Lthen           // guarded branch (source of divergence)
+//	    ld.global r4, [r3+16]
+//	    st.shared [r5], r4
+//	Lthen:
+//	    exit
+//
+// Comments run from "//", "#" or ";" to end of line. Labels are identifiers
+// followed by ":" and may share a line with an instruction. Immediates are
+// decimal, hex (0x..), or single-precision floats written with a decimal
+// point or exponent (stored as their IEEE-754 bit pattern).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	kernel  isa.Kernel
+	labels  map[string]int32
+	fixups  []fixup // branch targets to resolve
+	curLine int
+}
+
+type fixup struct {
+	pc    int
+	label string
+	line  int
+}
+
+// Assemble parses and validates one kernel from source text. defaultName is
+// used when the source has no .kernel directive.
+func Assemble(defaultName, src string) (*isa.Kernel, error) {
+	a := &assembler{labels: make(map[string]int32)}
+	a.kernel.Name = defaultName
+
+	for i, raw := range strings.Split(src, "\n") {
+		a.curLine = i + 1
+		if err := a.line(raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.label]
+		if !ok {
+			return nil, &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.kernel.Code[f.pc].Target = pc
+	}
+	a.kernel.ComputeRegUsage()
+	if err := a.kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return &a.kernel, nil
+}
+
+// MustAssemble is Assemble that panics on error; for statically known-good
+// built-in kernels and tests.
+func MustAssemble(name, src string) *isa.Kernel {
+	k, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{a.curLine, fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) line(raw string) error {
+	// Strip comments.
+	for _, marker := range []string{"//", "#", ";"} {
+		if idx := strings.Index(raw, marker); idx >= 0 {
+			raw = raw[:idx]
+		}
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+
+	// Labels (possibly several) at line start.
+	for {
+		idx := strings.Index(s, ":")
+		if idx <= 0 || strings.ContainsAny(s[:idx], " \t,[") {
+			break
+		}
+		label := s[:idx]
+		if !isIdent(label) {
+			return a.errf("invalid label %q", label)
+		}
+		if _, dup := a.labels[label]; dup {
+			return a.errf("duplicate label %q", label)
+		}
+		a.labels[label] = int32(len(a.kernel.Code))
+		s = strings.TrimSpace(s[idx+1:])
+		if s == "" {
+			return nil
+		}
+	}
+
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) directive(s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".kernel":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return a.errf(".kernel needs a single identifier")
+		}
+		a.kernel.Name = fields[1]
+	case ".shared":
+		if len(fields) != 2 {
+			return a.errf(".shared needs a byte count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return a.errf(".shared: invalid byte count %q", fields[1])
+		}
+		a.kernel.SharedBytes = n
+	default:
+		return a.errf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) instruction(s string) error {
+	var in isa.Instr
+	in.Dst = isa.RegNone
+	in.PDst = isa.PredNone
+	in.Pred = isa.PredNone
+	in.PSrc = isa.PredNone
+	in.Target = -1
+
+	// Guard prefix.
+	if strings.HasPrefix(s, "@") {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return a.errf("guard without instruction")
+		}
+		g := s[1:sp]
+		if strings.HasPrefix(g, "!") {
+			in.PredNeg = true
+			g = g[1:]
+		}
+		p, err := parsePred(g)
+		if err != nil {
+			return a.errf("bad guard %q", s[1:sp])
+		}
+		in.Pred = p
+		s = strings.TrimSpace(s[sp:])
+	}
+
+	// Mnemonic (may have .suffix for setp).
+	sp := strings.IndexAny(s, " \t")
+	mnem, rest := s, ""
+	if sp >= 0 {
+		mnem, rest = s[:sp], strings.TrimSpace(s[sp:])
+	}
+
+	if strings.HasPrefix(mnem, "setp.") {
+		cmp, ok := isa.CmpByName(mnem[len("setp."):])
+		if !ok {
+			return a.errf("unknown comparison %q", mnem)
+		}
+		in.Op, in.Cmp = isa.OpSetP, cmp
+	} else {
+		op, ok := isa.OpcodeByName(mnem)
+		if !ok {
+			return a.errf("unknown mnemonic %q", mnem)
+		}
+		in.Op = op
+	}
+
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	if err := a.operands(&in, ops); err != nil {
+		return err
+	}
+	a.kernel.Code = append(a.kernel.Code, in)
+	return nil
+}
+
+// operands fills in the instruction fields from the textual operand list.
+func (a *assembler) operands(in *isa.Instr, ops []string) error {
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s expects %d operands, got %d", in.Op, n, len(ops))
+		}
+		return nil
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpExit, isa.OpBar:
+		return need(0)
+
+	case isa.OpBra:
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return a.errf("bra expects a label, got %q", ops[0])
+		}
+		a.fixups = append(a.fixups, fixup{len(a.kernel.Code), ops[0], a.curLine})
+		return nil
+
+	case isa.OpSetP:
+		if err := need(3); err != nil {
+			return err
+		}
+		p, err := parsePred(ops[0])
+		if err != nil {
+			return a.errf("setp destination: %v", err)
+		}
+		in.PDst = p
+		return a.srcs(in, ops[1:], 0)
+
+	case isa.OpSelP:
+		if err := need(4); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("selp destination: %v", err)
+		}
+		in.Dst = d
+		p, err := parsePred(ops[3])
+		if err != nil {
+			return a.errf("selp predicate: %v", err)
+		}
+		in.PSrc = p
+		return a.srcs(in, ops[1:3], 0)
+
+	case isa.OpLdG, isa.OpLdS:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("load destination: %v", err)
+		}
+		in.Dst = d
+		addr, off, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("load address: %v", err)
+		}
+		in.Srcs[0], in.Off = addr, off
+		return nil
+
+	case isa.OpAtomAdd:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("atomic destination: %v", err)
+		}
+		in.Dst = d
+		addr, off, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("atomic address: %v", err)
+		}
+		in.Srcs[0], in.Off = addr, off
+		src, err := a.parseOperand(ops[2])
+		if err != nil {
+			return err
+		}
+		in.Srcs[1] = src
+		return nil
+
+	case isa.OpStG, isa.OpStS:
+		if err := need(2); err != nil {
+			return err
+		}
+		addr, off, err := parseMem(ops[0])
+		if err != nil {
+			return a.errf("store address: %v", err)
+		}
+		in.Srcs[0], in.Off = addr, off
+		src, err := a.parseOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Srcs[1] = src
+		return nil
+
+	default:
+		// Register-destination ALU form: dst, src0 [, src1 [, src2]].
+		nsrc := aluSrcCount(in.Op)
+		if err := need(1 + nsrc); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("destination: %v", err)
+		}
+		in.Dst = d
+		return a.srcs(in, ops[1:], 0)
+	}
+}
+
+func (a *assembler) srcs(in *isa.Instr, ops []string, base int) error {
+	if len(ops) > 3-base {
+		return a.errf("too many source operands")
+	}
+	for i, o := range ops {
+		src, err := a.parseOperand(o)
+		if err != nil {
+			return err
+		}
+		in.Srcs[base+i] = src
+	}
+	return nil
+}
+
+func (a *assembler) parseOperand(s string) (isa.Operand, error) {
+	if strings.HasPrefix(s, "%") {
+		sp, ok := isa.SpecialByName(s)
+		if !ok {
+			return isa.Operand{}, a.errf("unknown special register %q", s)
+		}
+		return isa.Spec(sp), nil
+	}
+	if strings.HasPrefix(s, "r") {
+		if r, err := parseReg(s); err == nil {
+			return isa.R(r), nil
+		}
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return isa.Operand{}, a.errf("bad operand %q", s)
+	}
+	return isa.Imm(v), nil
+}
+
+// aluSrcCount gives the source-operand arity of a plain ALU opcode.
+func aluSrcCount(op isa.Opcode) int {
+	switch op {
+	case isa.OpMov, isa.OpNot, isa.OpAbs, isa.OpFRcp, isa.OpFSqrt, isa.OpI2F, isa.OpF2I:
+		return 1
+	case isa.OpMad, isa.OpFMA:
+		return 3
+	default:
+		return 2
+	}
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.MaxRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parsePred(s string) (isa.PredReg, error) {
+	if len(s) < 2 || s[0] != 'p' {
+		return 0, fmt.Errorf("expected predicate, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.MaxPreds {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return isa.PredReg(n), nil
+}
+
+// parseMem parses "[rN]", "[rN+imm]", "[rN-imm]" or "[imm]".
+func parseMem(s string) (isa.Operand, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return isa.Operand{}, 0, fmt.Errorf("expected [addr], got %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Find a +/- separator after the first character (so "-4" stays one token).
+	sep := -1
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			sep = i
+			break
+		}
+	}
+	base, offStr := inner, ""
+	if sep > 0 {
+		base = strings.TrimSpace(inner[:sep])
+		offStr = strings.TrimSpace(inner[sep:]) // keeps sign
+	}
+	var off int32
+	if offStr != "" {
+		v, err := parseImm(offStr)
+		if err != nil {
+			return isa.Operand{}, 0, fmt.Errorf("bad offset %q", offStr)
+		}
+		off = v
+	}
+	if strings.HasPrefix(base, "r") {
+		r, err := parseReg(base)
+		if err != nil {
+			return isa.Operand{}, 0, err
+		}
+		return isa.R(r), off, nil
+	}
+	v, err := parseImm(base)
+	if err != nil {
+		return isa.Operand{}, 0, fmt.Errorf("bad address base %q", base)
+	}
+	return isa.Imm(v), off, nil
+}
+
+// parseImm accepts decimal and hex integers, and single-precision float
+// literals (containing '.' or an exponent) whose bit pattern is stored.
+func parseImm(s string) (int32, error) {
+	if strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "-0x") {
+		f, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return 0, err
+		}
+		return int32(math.Float32bits(float32(f))), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < math.MinInt32 || v > math.MaxUint32 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// splitOperands splits on commas not inside brackets.
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ']'")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '['")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	for _, o := range out {
+		if o == "" {
+			return nil, fmt.Errorf("empty operand")
+		}
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

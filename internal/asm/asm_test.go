@@ -1,0 +1,303 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBasicProgram(t *testing.T) {
+	k, err := Assemble("t", `
+.kernel demo
+.shared 128
+	mov  r0, %tid.x
+	add  r1, r0, 5
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "demo" {
+		t.Errorf("name %q", k.Name)
+	}
+	if k.SharedBytes != 128 {
+		t.Errorf("shared %d", k.SharedBytes)
+	}
+	if len(k.Code) != 3 {
+		t.Fatalf("%d instructions", len(k.Code))
+	}
+	if k.NumRegs != 2 {
+		t.Errorf("NumRegs %d, want 2", k.NumRegs)
+	}
+	in := k.Code[0]
+	if in.Op != isa.OpMov || in.Dst != 0 || in.Srcs[0].Kind != isa.OperandSpecial || in.Srcs[0].Spec != isa.SpecTidX {
+		t.Errorf("mov decoded wrong: %+v", in)
+	}
+	in = k.Code[1]
+	if in.Op != isa.OpAdd || in.Srcs[1].Kind != isa.OperandImm || in.Srcs[1].Imm != 5 {
+		t.Errorf("add decoded wrong: %+v", in)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	k, err := Assemble("t", `
+	mov r0, 0
+Ltop:
+	add r0, r0, 1
+	setp.lt p0, r0, 10
+@p0	bra Ltop
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := k.Code[3]
+	if bra.Op != isa.OpBra || bra.Target != 1 {
+		t.Fatalf("branch target %d, want 1", bra.Target)
+	}
+	if bra.Pred != 0 || bra.PredNeg {
+		t.Fatalf("guard wrong: %+v", bra)
+	}
+}
+
+func TestNegatedGuard(t *testing.T) {
+	k, err := Assemble("t", `
+	setp.eq p2, r0, r1
+@!p2	add r2, r2, 1
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Code[1]
+	if in.Pred != 2 || !in.PredNeg {
+		t.Fatalf("negated guard: %+v", in)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	k, err := Assemble("t", `
+	ld.global r1, [r2]
+	ld.global r3, [r4+16]
+	ld.shared r5, [r6-4]
+	st.global [r7+8], r1
+	st.shared [32], 99
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].Off != 0 || k.Code[1].Off != 16 || k.Code[2].Off != -4 || k.Code[3].Off != 8 {
+		t.Fatalf("offsets wrong: %d %d %d %d", k.Code[0].Off, k.Code[1].Off, k.Code[2].Off, k.Code[3].Off)
+	}
+	st := k.Code[4]
+	if st.Srcs[0].Kind != isa.OperandImm || st.Srcs[0].Imm != 32 {
+		t.Fatalf("immediate address: %+v", st.Srcs[0])
+	}
+	if st.Srcs[1].Kind != isa.OperandImm || st.Srcs[1].Imm != 99 {
+		t.Fatalf("immediate store data: %+v", st.Srcs[1])
+	}
+}
+
+func TestFloatImmediates(t *testing.T) {
+	k, err := Assemble("t", `
+	fmul r1, r0, 0.25
+	fadd r2, r1, 1.0
+	fadd r3, r2, 1e-3
+	mov  r4, -2.5
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0.25, 1.0, 1e-3, -2.5}
+	idx := [][2]int{{0, 1}, {1, 1}, {2, 1}, {3, 0}}
+	for i, w := range want {
+		imm := k.Code[idx[i][0]].Srcs[idx[i][1]]
+		if got := math.Float32frombits(uint32(imm.Imm)); got != w {
+			t.Errorf("imm %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	k, err := Assemble("t", `
+	mov r0, 0x7f7fffff
+	mov r1, -1
+	and r2, r0, 0xFF
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(k.Code[0].Srcs[0].Imm) != 0x7f7fffff {
+		t.Error("hex immediate")
+	}
+	if k.Code[1].Srcs[0].Imm != -1 {
+		t.Error("negative immediate")
+	}
+}
+
+func TestSelpAndSetp(t *testing.T) {
+	k, err := Assemble("t", `
+	setp.flt p1, r0, r1
+	selp r2, r3, r4, p1
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].Cmp != isa.CmpFLT || k.Code[0].PDst != 1 {
+		t.Fatalf("setp: %+v", k.Code[0])
+	}
+	sel := k.Code[1]
+	if sel.Op != isa.OpSelP || sel.PSrc != 1 || sel.Dst != 2 {
+		t.Fatalf("selp: %+v", sel)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	k, err := Assemble("t", `
+	// full line comment
+	# another
+	; and another
+	mov r0, 1   // trailing
+	exit        # trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Code) != 2 {
+		t.Fatalf("%d instructions, want 2", len(k.Code))
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := map[string]string{
+		"undefined label":   "\tbra Lmissing\n\texit\n",
+		"unknown mnemonic":  "\tfrobnicate r0, r1\n\texit\n",
+		"bad register":      "\tmov r99, 0\n\texit\n",
+		"bad predicate":     "\tsetp.lt p9, r0, r1\n\texit\n",
+		"wrong arity":       "\tadd r0, r1\n\texit\n",
+		"duplicate label":   "L: nop\nL: exit\n",
+		"unknown directive": ".frob 3\n\texit\n",
+		"no exit":           "\tmov r0, 1\n",
+		"unknown special":   "\tmov r0, %bogus\n\texit\n",
+		"unknown cmp":       "\tsetp.weird p0, r0, r1\n\texit\n",
+		"unbalanced mem":    "\tld.global r0, [r1\n\texit\n",
+		"guard alone":       "@p0\n\texit\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestErrorIncludesLine(t *testing.T) {
+	_, err := Assemble("t", "\tnop\n\tbogus r1\n\texit\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name line 2: %v", err)
+	}
+}
+
+func TestMultipleLabelsSamePC(t *testing.T) {
+	k, err := Assemble("t", `
+	mov r0, 0
+A: B:
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Code) != 2 {
+		t.Fatalf("%d instructions", len(k.Code))
+	}
+}
+
+func TestLabelOnInstructionLine(t *testing.T) {
+	k, err := Assemble("t", `
+	bra Lend
+Lend: exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].Target != 1 {
+		t.Fatalf("target %d", k.Code[0].Target)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("t", "bogus")
+}
+
+// TestRoundTripThroughString: every assembled instruction must render via
+// String() without panicking (guards doc examples and debugging output).
+func TestRoundTripThroughString(t *testing.T) {
+	k := MustAssemble("t", `
+	mov r0, %ctaid.x
+	mad r1, r0, %ntid.x, r2
+	setp.ge p0, r1, 100
+@p0	exit
+	fma r3, r1, 0.5, r4
+	ld.global r5, [r6+4]
+	st.shared [r7], r5
+	bar.sync
+	min r8, r5, r3
+	bra Ldone
+Ldone:
+	exit
+`)
+	for i := range k.Code {
+		if s := k.Code[i].String(); s == "" {
+			t.Fatalf("empty rendering at pc %d", i)
+		}
+	}
+}
+
+func TestParamSpecials(t *testing.T) {
+	k, err := Assemble("t", `
+	mov r0, %param0
+	add r1, r0, %param7
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].Srcs[0].Spec != isa.SpecParam0 {
+		t.Error("param0 decode")
+	}
+	if k.Code[1].Srcs[1].Spec != isa.SpecParam7 {
+		t.Error("param7 decode")
+	}
+}
+
+func TestAtomicAddSyntax(t *testing.T) {
+	k, err := Assemble("t", `
+	atom.add r1, [r2], 1
+	atom.add r3, [r4+8], r5
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := k.Code[0]
+	if a0.Op != isa.OpAtomAdd || a0.Dst != 1 || a0.Srcs[0].Reg != 2 || a0.Srcs[1].Imm != 1 {
+		t.Fatalf("atom.add decode: %+v", a0)
+	}
+	a1 := k.Code[1]
+	if a1.Off != 8 || a1.Srcs[1].Kind != isa.OperandReg || a1.Srcs[1].Reg != 5 {
+		t.Fatalf("atom.add with offset: %+v", a1)
+	}
+	if _, err := Assemble("t", "\tatom.add r1, [r2]\n\texit\n"); err == nil {
+		t.Fatal("atom.add with missing addend accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble: the assembler must reject arbitrary input with an error,
+// never a panic (MustAssemble is the only sanctioned panic path).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"exit",
+		"\tmov r0, %tid.x\n\texit\n",
+		".kernel k\n.shared 64\nL: add r1, r1, 1\n@p0 bra L\nexit\n",
+		"\tld.global r1, [r2+4]\n\tst.shared [r3], r1\n\texit",
+		"\tsetp.flt p1, r0, 1.5\n\tselp r2, r3, r4, p1\n\texit",
+		"\tatom.add r1, [r2], r3\n\texit",
+		"@!p7 exit\nexit",
+		"\tmov r0, 0x7fffffff\n\tmov r1, -2.5e10\n\texit",
+		"L1: L2: L3: exit",
+		"\tbra nowhere",
+		"\tadd r0, [r1], %bogus",
+		"\t@p0",
+		".shared -5\nexit",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Assemble("fuzz", src)
+		if err == nil && k == nil {
+			t.Fatal("nil kernel without error")
+		}
+		if k != nil {
+			if err := k.Validate(); err != nil {
+				t.Fatalf("assembler returned invalid kernel: %v", err)
+			}
+		}
+	})
+}

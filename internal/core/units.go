@@ -1,0 +1,78 @@
+package core
+
+// UnitPool models a bank of pipelined compressor or decompressor units
+// (paper §5.1: 2 compressors and 4 decompressors per SM, each a column of 32
+// subtractors/adders plus sign-extension comparators).
+//
+// Units are fully pipelined with an initiation interval of one cycle: the
+// pool accepts at most Size new operations per cycle and each finishes
+// Latency cycles later. Every accepted operation is one "activation" for the
+// energy model (23 pJ compress / 21 pJ decompress, Table 3).
+type UnitPool struct {
+	size    int
+	latency int
+
+	cycle uint64 // cycle the `used` counter refers to
+	used  int    // operations started in `cycle`
+
+	activations uint64
+}
+
+// NewUnitPool builds a pool of n pipelined units with the given latency in
+// cycles. A latency of 0 means results are available in the same cycle.
+func NewUnitPool(n, latency int) *UnitPool {
+	if n <= 0 {
+		panic("core: unit pool needs at least one unit")
+	}
+	if latency < 0 {
+		panic("core: negative unit latency")
+	}
+	return &UnitPool{size: n, latency: latency}
+}
+
+// TryStart attempts to start an operation at cycle now. On success it
+// returns the cycle at which the result is available. Calls must be made
+// with non-decreasing now.
+func (u *UnitPool) TryStart(now uint64) (ready uint64, ok bool) {
+	if now != u.cycle {
+		u.cycle, u.used = now, 0
+	}
+	if u.used >= u.size {
+		return 0, false
+	}
+	u.used++
+	u.activations++
+	return now + uint64(u.latency), true
+}
+
+// Activations returns the total number of operations the pool has performed;
+// the energy model multiplies this by the per-activation energy.
+func (u *UnitPool) Activations() uint64 { return u.activations }
+
+// Size returns the number of units in the pool (leakage is per unit).
+func (u *UnitPool) Size() int { return u.size }
+
+// Latency returns the pipeline depth in cycles.
+func (u *UnitPool) Latency() int { return u.latency }
+
+// IndicatorTable is the per-register 2-bit compression range indicator the
+// bank arbiter consults before issuing bank reads (paper §4: "this vector is
+// stored in the bank arbiter, and it is read when a register access is
+// requested, in parallel to bank arbitration").
+type IndicatorTable struct {
+	enc []Encoding
+}
+
+// NewIndicatorTable sizes the table for n warp registers.
+func NewIndicatorTable(n int) *IndicatorTable {
+	return &IndicatorTable{enc: make([]Encoding, n)}
+}
+
+// Get returns the current encoding of warp register id.
+func (t *IndicatorTable) Get(id int) Encoding { return t.enc[id] }
+
+// Set records a new encoding for warp register id.
+func (t *IndicatorTable) Set(id int, e Encoding) { t.enc[id] = e }
+
+// Len returns the table capacity in registers.
+func (t *IndicatorTable) Len() int { return len(t.enc) }

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"repro/internal/energy"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// The ablN exhibits are not paper figures: they isolate the design choices
+// the paper makes (its §5.2 divergence policy, §5.3 gating, §5.1 unit
+// sizing) by simulating the alternatives it discusses.
+
+// AblDivergence compares the paper's store-uncompressed + dummy-MOV
+// divergence policy against the read-merge-recompress alternative it
+// rejects for its buffer cost (§5.2).
+func (r *Runner) AblDivergence() (*Table, error) {
+	t := &Table{
+		ID:      "abl1-divergence",
+		Title:   "Divergence policy: dummy-MOV (paper) vs read-merge-recompress",
+		Columns: []string{"mov-energy", "mov-time", "mov-frac", "rec-energy", "rec-time"},
+		Notes:   "energy and cycles normalized to no-compression baseline; recompress keeps registers compressed through divergence at the cost of a read-modify-write per divergent store",
+	}
+	params := energy.DefaultParams()
+	baseE := map[string]float64{}
+	baseC := map[string]uint64{}
+	if err := r.forEach(r.cfgBaseline(), func(b *kernels.Benchmark, res *sim.Result) error {
+		baseE[b.Name] = energy.Compute(params, res.Energy).TotalPJ()
+		baseC[b.Name] = res.Cycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type row struct{ movE, movT, movF, recE, recT float64 }
+	rows := map[string]*row{}
+	if err := r.forEach(r.cfgWarped(), func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name] = &row{
+			movE: energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name],
+			movT: float64(res.Cycles) / float64(baseC[b.Name]),
+			movF: res.Stats.DummyMovRatio(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rec := r.cfgWarped()
+	rec.DivergencePolicy = "recompress"
+	if err := r.forEach(rec, func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name].recE = energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]
+		rows[b.Name].recT = float64(res.Cycles) / float64(baseC[b.Name])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		v := rows[b.Name]
+		t.AddRow(b.Name, v.movE, v.movT, v.movF, v.recE, v.recT)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+// AblGating isolates the contribution of bank-level power gating (§5.3):
+// warped-compression with and without gating.
+func (r *Runner) AblGating() (*Table, error) {
+	t := &Table{
+		ID:      "abl2-gating",
+		Title:   "Contribution of bank power gating to warped-compression",
+		Columns: []string{"gated-energy", "ungated-energy", "gated-time", "ungated-time"},
+		Notes:   "normalized to no-compression baseline; the energy gap is the leakage the gating mechanism recovers",
+	}
+	params := energy.DefaultParams()
+	baseE := map[string]float64{}
+	baseC := map[string]uint64{}
+	if err := r.forEach(r.cfgBaseline(), func(b *kernels.Benchmark, res *sim.Result) error {
+		baseE[b.Name] = energy.Compute(params, res.Energy).TotalPJ()
+		baseC[b.Name] = res.Cycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type row struct{ gE, uE, gT, uT float64 }
+	rows := map[string]*row{}
+	if err := r.forEach(r.cfgWarped(), func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name] = &row{
+			gE: energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name],
+			gT: float64(res.Cycles) / float64(baseC[b.Name]),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ungated := r.cfgWarped()
+	ungated.PowerGating = false
+	if err := r.forEach(ungated, func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name].uE = energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]
+		rows[b.Name].uT = float64(res.Cycles) / float64(baseC[b.Name])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		v := rows[b.Name]
+		t.AddRow(b.Name, v.gE, v.uE, v.gT, v.uT)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+// AblUnits sweeps the compressor/decompressor pool sizes around the paper's
+// 2/4 choice (§5.1 sizes them for 2 instructions per cycle).
+func (r *Runner) AblUnits() (*Table, error) {
+	t := &Table{
+		ID:      "abl3-units",
+		Title:   "Compressor/decompressor pool sizing",
+		Columns: []string{"1c/2d", "2c/4d", "4c/8d"},
+		Notes:   "execution time normalized to no-compression baseline; the paper's 2 compressors + 4 decompressors match the dual-issue SM",
+	}
+	baseC := map[string]uint64{}
+	if err := r.forEach(r.cfgBaseline(), func(b *kernels.Benchmark, res *sim.Result) error {
+		baseC[b.Name] = res.Cycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sizes := []struct{ c, d int }{{1, 2}, {2, 4}, {4, 8}}
+	rows := map[string][]float64{}
+	for i, sz := range sizes {
+		c := r.cfgWarped()
+		c.Compressors, c.Decompressors = sz.c, sz.d
+		if err := r.forEach(c, func(b *kernels.Benchmark, res *sim.Result) error {
+			if rows[b.Name] == nil {
+				rows[b.Name] = make([]float64, len(sizes))
+			}
+			rows[b.Name][i] = float64(res.Cycles) / float64(baseC[b.Name])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		t.AddRow(b.Name, rows[b.Name]...)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+// AblRFC compares warped-compression against the register file cache, the
+// rival register-power approach the paper's §7 cites (Gebhart et al., ISCA
+// 2011): a 6-entry per-warp write-back cache that filters main-bank traffic
+// without exploiting value similarity.
+func (r *Runner) AblRFC() (*Table, error) {
+	t := &Table{
+		ID:      "abl4-rfc",
+		Title:   "Warped-compression vs register file cache (6 entries/warp)",
+		Columns: []string{"wc-energy", "rfc-energy", "rfc-hit", "wc-time", "rfc-time"},
+		Notes:   "normalized to no-compression baseline; rfc-hit is the RFC read hit rate. The RFC filters bank accesses very effectively but pays leakage for its 36 KB of added storage (6 x 128 B x 48 warps, charged at the banks' per-KB rate) -- Gebhart's design needs a two-level scheduler to shrink it. Warped-compression reaches similar or better totals with a 0.3%-area compressor and also attacks bank leakage via gating",
+	}
+	params := energy.DefaultParams()
+	baseE := map[string]float64{}
+	baseC := map[string]uint64{}
+	if err := r.forEach(r.cfgBaseline(), func(b *kernels.Benchmark, res *sim.Result) error {
+		baseE[b.Name] = energy.Compute(params, res.Energy).TotalPJ()
+		baseC[b.Name] = res.Cycles
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type row struct{ wcE, rfcE, hit, wcT, rfcT float64 }
+	rows := map[string]*row{}
+	if err := r.forEach(r.cfgWarped(), func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name] = &row{
+			wcE: energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name],
+			wcT: float64(res.Cycles) / float64(baseC[b.Name]),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rfc := r.cfgBaseline()
+	rfc.RFCEntries = 6
+	if err := r.forEach(rfc, func(b *kernels.Benchmark, res *sim.Result) error {
+		v := rows[b.Name]
+		v.rfcE = energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]
+		v.rfcT = float64(res.Cycles) / float64(baseC[b.Name])
+		reads, missed := res.Stats.RFCReads, res.Stats.RFCReadMisses
+		if reads+missed > 0 {
+			v.hit = float64(reads) / float64(reads+missed)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		v := rows[b.Name]
+		t.AddRow(b.Name, v.wcE, v.rfcE, v.hit, v.wcT, v.rfcT)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+// AblDrowsy compares against the other rival the paper's introduction
+// cites: a drowsy register file (Abdel-Majeed & Annavaram) that drops idle
+// banks into a data-retentive low-leakage state. Drowsy mode attacks only
+// leakage; warped-compression attacks both components — and the two
+// mechanisms compose.
+func (r *Runner) AblDrowsy() (*Table, error) {
+	t := &Table{
+		ID:      "abl5-drowsy",
+		Title:   "Warped-compression vs drowsy register file (and both combined)",
+		Columns: []string{"wc-energy", "drowsy-energy", "wc+drowsy", "drowsy-frac"},
+		Notes:   "normalized to no-compression baseline; drowsy banks retain data at 10% leakage after 100 idle cycles. drowsy-frac is the fraction of bank-cycles spent drowsy in the drowsy-only run",
+	}
+	params := energy.DefaultParams()
+	baseE := map[string]float64{}
+	if err := r.forEach(r.cfgBaseline(), func(b *kernels.Benchmark, res *sim.Result) error {
+		baseE[b.Name] = energy.Compute(params, res.Energy).TotalPJ()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type row struct{ wc, dr, both, frac float64 }
+	rows := map[string]*row{}
+	if err := r.forEach(r.cfgWarped(), func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name] = &row{wc: energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	drowsy := r.cfgBaseline()
+	drowsy.DrowsyAfter = 100
+	if err := r.forEach(drowsy, func(b *kernels.Benchmark, res *sim.Result) error {
+		v := rows[b.Name]
+		v.dr = energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]
+		if res.Stats.RF.PoweredBankCycles > 0 {
+			v.frac = float64(res.Stats.RF.DrowsyBankCycles) / float64(res.Stats.RF.PoweredBankCycles)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	both := r.cfgWarped()
+	both.DrowsyAfter = 100
+	if err := r.forEach(both, func(b *kernels.Benchmark, res *sim.Result) error {
+		rows[b.Name].both = energy.Compute(params, res.Energy).TotalPJ() / baseE[b.Name]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		v := rows[b.Name]
+		t.AddRow(b.Name, v.wc, v.dr, v.both, v.frac)
+	}
+	t.AddAverage()
+	return t, nil
+}

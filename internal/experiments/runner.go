@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// Options selects what the runner simulates.
+type Options struct {
+	// Scale is the workload size (default Medium, the figure-quality size).
+	Scale kernels.Scale
+	// Benchmarks restricts the suite; nil means all 20.
+	Benchmarks []string
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress io.Writer
+	// Base overrides the hardware configuration the experiment configs are
+	// derived from (zero value means sim.DefaultConfig). Compression mode,
+	// gating, scheduler, latencies and characterization are overridden per
+	// experiment on top of this.
+	Base *sim.Config
+}
+
+// Runner executes benchmarks under experiment configurations, memoizing
+// results so shared configurations (e.g. the default warped-compression run
+// used by Figs 8-13) simulate only once.
+type Runner struct {
+	opts  Options
+	cache map[string]*sim.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]*sim.Result)}
+}
+
+// benchmarks resolves the benchmark list.
+func (r *Runner) benchmarks() ([]*kernels.Benchmark, error) {
+	if r.opts.Benchmarks == nil {
+		return kernels.All(), nil
+	}
+	var out []*kernels.Benchmark
+	for _, name := range r.opts.Benchmarks {
+		b, ok := kernels.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q (have %v)", name, kernels.Names())
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// baseConfig returns the hardware configuration experiments start from.
+func (r *Runner) baseConfig() sim.Config {
+	if r.opts.Base != nil {
+		return *r.opts.Base
+	}
+	return sim.DefaultConfig()
+}
+
+// Experiment configurations (derived from Table 2 defaults).
+
+func (r *Runner) cfgWarped() sim.Config { return r.baseConfig() }
+
+func (r *Runner) cfgBaseline() sim.Config {
+	c := r.baseConfig()
+	c.Mode = core.ModeOff
+	c.PowerGating = false
+	return c
+}
+
+// cfgCharacterize is the paper §3 measurement setup: an uncompressed
+// register file instrumented to classify every register write.
+func (r *Runner) cfgCharacterize() sim.Config {
+	c := r.cfgBaseline()
+	c.CharacterizeWrites = true
+	return c
+}
+
+func (r *Runner) cfgScheduler(policy string, compressed bool) sim.Config {
+	var c sim.Config
+	if compressed {
+		c = r.cfgWarped()
+	} else {
+		c = r.cfgBaseline()
+	}
+	c.Scheduler = policy
+	return c
+}
+
+func (r *Runner) cfgMode(m core.Mode) sim.Config {
+	c := r.cfgWarped()
+	c.Mode = m
+	return c
+}
+
+func (r *Runner) cfgCompLatency(lat int) sim.Config {
+	c := r.cfgWarped()
+	c.CompressLatency = lat
+	return c
+}
+
+func (r *Runner) cfgDecompLatency(lat int) sim.Config {
+	c := r.cfgWarped()
+	c.DecompressLatency = lat
+	return c
+}
+
+// sig produces the memoization key of a configuration.
+func sig(c *sim.Config) string {
+	return fmt.Sprintf("m%d g%t s%s cl%d dl%d ch%t sm%d w%d cta%d col%d c%d d%d wake%d dp%s",
+		c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
+		c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
+		c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
+		fmt.Sprintf(" rfc%d drw%d", c.RFCEntries, c.DrowsyAfter)
+}
+
+// run simulates one benchmark under one configuration (memoized). The
+// output check always runs: an experiment on a miscomputing simulator would
+// be meaningless.
+func (r *Runner) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+	key := b.Name + "|" + sig(&c)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	g, err := sim.New(c)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := b.Build(g.Mem(), r.opts.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
+	}
+	res, err := g.Run(inst.Launch)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if err := inst.Check(g.Mem()); err != nil {
+		return nil, fmt.Errorf("%s: simulation produced wrong output: %w", b.Name, err)
+	}
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "ran %-12s [%s] cycles=%d\n", b.Name, sig(&c), res.Cycles)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// forEach runs every selected benchmark under config c and calls fn.
+func (r *Runner) forEach(c sim.Config, fn func(b *kernels.Benchmark, res *sim.Result) error) error {
+	benches, err := r.benchmarks()
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
+		res, err := r.run(b, c)
+		if err != nil {
+			return err
+		}
+		if err := fn(b, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exhibit describes one regenerable table/figure.
+type exhibit struct {
+	id    string
+	title string
+	run   func(*Runner) (*Table, error)
+}
+
+var exhibits = []exhibit{
+	{"table1", "Possible combinations of chunk size", (*Runner).Table1},
+	{"table2", "GPU microarchitectural parameters", (*Runner).Table2},
+	{"table3", "Estimated energy and power values (@45nm)", (*Runner).Table3},
+	{"fig2", "Characterization of register values", (*Runner).Fig2},
+	{"fig3", "Ratio of non-diverged warp instructions", (*Runner).Fig3},
+	{"fig5", "Breakdown of <base,delta> values for best compression", (*Runner).Fig5},
+	{"fig8", "Compression ratio (non-divergent vs divergent)", (*Runner).Fig8},
+	{"fig9", "Register file energy consumption", (*Runner).Fig9},
+	{"fig10", "Portion of power-gated cycles for each bank", (*Runner).Fig10},
+	{"fig11", "Portion of dummy MOV instructions", (*Runner).Fig11},
+	{"fig12", "Portion of compressed registers", (*Runner).Fig12},
+	{"fig13", "Impact on execution time", (*Runner).Fig13},
+	{"fig14", "Energy reduction: GTO and LRR warp schedulers", (*Runner).Fig14},
+	{"fig15", "Compression ratio for various compression parameters", (*Runner).Fig15},
+	{"fig16", "Energy consumption for various compression parameters", (*Runner).Fig16},
+	{"fig17", "Energy vs compression/decompression unit activation energy", (*Runner).Fig17},
+	{"fig18", "Energy vs per-bank access energy", (*Runner).Fig18},
+	{"fig19", "Impact of wire activity", (*Runner).Fig19},
+	{"fig20", "Execution time vs compression latency", (*Runner).Fig20},
+	{"fig21", "Execution time vs decompression latency", (*Runner).Fig21},
+	// Ablations beyond the paper's figures (design choices of §5.1-5.3).
+	{"abl1-divergence", "Divergence policy: dummy-MOV vs recompress", (*Runner).AblDivergence},
+	{"abl2-gating", "Contribution of bank power gating", (*Runner).AblGating},
+	{"abl3-units", "Compressor/decompressor pool sizing", (*Runner).AblUnits},
+	{"abl4-rfc", "Warped-compression vs register file cache", (*Runner).AblRFC},
+	{"abl5-drowsy", "Warped-compression vs drowsy register file", (*Runner).AblDrowsy},
+}
+
+// IDs lists every regenerable exhibit in paper order.
+func IDs() []string {
+	out := make([]string, len(exhibits))
+	for i, e := range exhibits {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Title returns the exhibit's paper caption.
+func Title(id string) (string, bool) {
+	for _, e := range exhibits {
+		if e.id == id {
+			return e.title, true
+		}
+	}
+	return "", false
+}
+
+// Run regenerates one exhibit by id ("fig9", "table1", ...).
+func (r *Runner) Run(id string) (*Table, error) {
+	for _, e := range exhibits {
+		if e.id == id {
+			return e.run(r)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown exhibit %q (have %v)", id, IDs())
+}
+
+// RunAll regenerates every exhibit in paper order.
+func (r *Runner) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, e := range exhibits {
+		t, err := e.run(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package isa
+
+import "math"
+
+// EvalALU computes the scalar result of a non-memory, non-control opcode for
+// one thread. Register values are raw 32-bit patterns; float opcodes
+// interpret them as IEEE-754 single precision, exactly as GPU lanes do.
+func EvalALU(op Opcode, a, b, c uint32) uint32 {
+	switch op {
+	case OpMov:
+		return a
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return uint32(int32(a) * int32(b))
+	case OpMad:
+		return uint32(int32(a)*int32(b) + int32(c))
+	case OpMin:
+		if int32(a) < int32(b) {
+			return a
+		}
+		return b
+	case OpMax:
+		if int32(a) > int32(b) {
+			return a
+		}
+		return b
+	case OpAbs:
+		if int32(a) < 0 {
+			return uint32(-int32(a))
+		}
+		return a
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 31)
+	case OpShr:
+		return a >> (b & 31)
+	case OpSra:
+		return uint32(int32(a) >> (b & 31))
+	case OpDiv:
+		if int32(b) == 0 {
+			return 0
+		}
+		return uint32(int32(a) / int32(b))
+	case OpRem:
+		if int32(b) == 0 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case OpFAdd:
+		return f32op(a, b, func(x, y float32) float32 { return x + y })
+	case OpFSub:
+		return f32op(a, b, func(x, y float32) float32 { return x - y })
+	case OpFMul:
+		return f32op(a, b, func(x, y float32) float32 { return x * y })
+	case OpFMA:
+		// Defined as multiply-then-add with intermediate rounding (the
+		// explicit conversion forbids Go from fusing), so host reference
+		// implementations can reproduce results bit-exactly.
+		fa, fb, fc := math.Float32frombits(a), math.Float32frombits(b), math.Float32frombits(c)
+		return math.Float32bits(float32(fa*fb) + fc)
+	case OpFMin:
+		return f32op(a, b, func(x, y float32) float32 {
+			if x < y {
+				return x
+			}
+			return y
+		})
+	case OpFMax:
+		return f32op(a, b, func(x, y float32) float32 {
+			if x > y {
+				return x
+			}
+			return y
+		})
+	case OpFRcp:
+		return math.Float32bits(1 / math.Float32frombits(a))
+	case OpFSqrt:
+		return math.Float32bits(float32(math.Sqrt(float64(math.Float32frombits(a)))))
+	case OpI2F:
+		return math.Float32bits(float32(int32(a)))
+	case OpF2I:
+		f := math.Float32frombits(a)
+		if math.IsNaN(float64(f)) {
+			return 0
+		}
+		return uint32(int32(f))
+	}
+	return 0
+}
+
+func f32op(a, b uint32, f func(x, y float32) float32) uint32 {
+	return math.Float32bits(f(math.Float32frombits(a), math.Float32frombits(b)))
+}
+
+// EvalCmp evaluates a setp comparison for one thread.
+func EvalCmp(cmp CmpOp, a, b uint32) bool {
+	switch cmp {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return int32(a) < int32(b)
+	case CmpLE:
+		return int32(a) <= int32(b)
+	case CmpGT:
+		return int32(a) > int32(b)
+	case CmpGE:
+		return int32(a) >= int32(b)
+	}
+	fa, fb := math.Float32frombits(a), math.Float32frombits(b)
+	switch cmp {
+	case CmpFEQ:
+		return fa == fb
+	case CmpFNE:
+		return fa != fb
+	case CmpFLT:
+		return fa < fb
+	case CmpFLE:
+		return fa <= fb
+	case CmpFGT:
+		return fa > fb
+	case CmpFGE:
+		return fa >= fb
+	}
+	return false
+}

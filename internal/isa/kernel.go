@@ -1,0 +1,140 @@
+package isa
+
+import "fmt"
+
+// Kernel is a validated, assembled GPU kernel image.
+type Kernel struct {
+	Name string
+	Code []Instr
+
+	// NumRegs is the number of general purpose registers each thread of
+	// this kernel uses (max register index + 1). The register file
+	// allocator reserves this many warp registers per warp.
+	NumRegs int
+	// NumPreds is the number of predicate registers used.
+	NumPreds int
+	// SharedBytes is the per-CTA shared memory footprint.
+	SharedBytes int
+
+	// ReconvPC[pc] is the SIMT-stack reconvergence point (immediate
+	// post-dominator) for the branch at pc; -1 for non-branches. It is
+	// filled in by the cfg package when a kernel is loaded.
+	ReconvPC []int32
+}
+
+// Validate checks the whole kernel image: every instruction individually,
+// register bounds, and termination (at least one exit).
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernel has no name")
+	}
+	if len(k.Code) == 0 {
+		return fmt.Errorf("kernel %s: empty code", k.Name)
+	}
+	hasExit := false
+	for pc := range k.Code {
+		if err := k.Code[pc].Validate(pc, len(k.Code)); err != nil {
+			return fmt.Errorf("kernel %s: %w", k.Name, err)
+		}
+		if k.Code[pc].Op == OpExit {
+			hasExit = true
+		}
+	}
+	if !hasExit {
+		return fmt.Errorf("kernel %s: no exit instruction", k.Name)
+	}
+	if k.NumRegs < 0 || k.NumRegs > MaxRegs {
+		return fmt.Errorf("kernel %s: NumRegs %d out of range (0..%d)", k.Name, k.NumRegs, MaxRegs)
+	}
+	if k.ReconvPC != nil && len(k.ReconvPC) != len(k.Code) {
+		return fmt.Errorf("kernel %s: ReconvPC length %d != code length %d", k.Name, len(k.ReconvPC), len(k.Code))
+	}
+	return nil
+}
+
+// ComputeRegUsage scans the code and sets NumRegs / NumPreds from the highest
+// register indices actually referenced.
+func (k *Kernel) ComputeRegUsage() {
+	maxReg, maxPred := -1, -1
+	upd := func(r Reg) {
+		if r != RegNone && int(r) > maxReg {
+			maxReg = int(r)
+		}
+	}
+	updP := func(p PredReg) {
+		if p != PredNone && int(p) > maxPred {
+			maxPred = int(p)
+		}
+	}
+	for i := range k.Code {
+		in := &k.Code[i]
+		upd(in.Dst)
+		for _, s := range in.Srcs {
+			if s.Kind == OperandReg {
+				upd(s.Reg)
+			}
+		}
+		updP(in.PDst)
+		updP(in.Pred)
+		updP(in.PSrc)
+	}
+	k.NumRegs = maxReg + 1
+	k.NumPreds = maxPred + 1
+}
+
+// Dim3 is a 1/2-dimensional launch geometry (z unused by this model).
+type Dim3 struct {
+	X, Y int
+}
+
+// Count returns the total element count of the geometry.
+func (d Dim3) Count() int {
+	y := d.Y
+	if y <= 0 {
+		y = 1
+	}
+	if d.X <= 0 {
+		return 0
+	}
+	return d.X * y
+}
+
+// Launch describes one kernel invocation: the grid geometry, CTA shape and
+// kernel arguments.
+type Launch struct {
+	Kernel *Kernel
+	Grid   Dim3 // CTAs per grid
+	Block  Dim3 // threads per CTA
+	// Params are the kernel arguments, readable as %param0..%param7
+	// (array base addresses, sizes, scalar inputs).
+	Params [NumParams]uint32
+}
+
+// ThreadsPerCTA returns the CTA size in threads.
+func (l Launch) ThreadsPerCTA() int { return l.Block.Count() }
+
+// WarpsPerCTA returns the number of warps a CTA occupies (rounded up).
+func (l Launch) WarpsPerCTA() int {
+	return (l.ThreadsPerCTA() + WarpSize - 1) / WarpSize
+}
+
+// NumCTAs returns the grid size in CTAs.
+func (l Launch) NumCTAs() int { return l.Grid.Count() }
+
+// Validate checks launch geometry bounds.
+func (l Launch) Validate() error {
+	if l.Kernel == nil {
+		return fmt.Errorf("launch without kernel")
+	}
+	if err := l.Kernel.Validate(); err != nil {
+		return err
+	}
+	if l.NumCTAs() <= 0 {
+		return fmt.Errorf("launch %s: empty grid", l.Kernel.Name)
+	}
+	t := l.ThreadsPerCTA()
+	if t <= 0 || t > 1024 {
+		return fmt.Errorf("launch %s: CTA size %d out of range (1..1024)", l.Kernel.Name, t)
+	}
+	return nil
+}

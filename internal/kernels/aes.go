@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// aes is an AES-like counter-mode round function (GPGPU-Sim's AES): every
+// thread whitens its state through S-box lookups and round-key XORs. Control
+// flow is completely uniform — the paper marks AES's divergent bars "N/A" —
+// while register contents mix uniform round keys (perfectly compressible)
+// with near-random cipher state.
+//
+// Params: %param0=sbox %param1=roundkeys %param2=input %param3=output
+// %param4=rounds.
+const aesSrc = `
+.kernel aes
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // block index
+	shl  r2, r1, 2
+	add  r3, r2, %param2
+	ld.global r4, [r3]               // state = input[tid]
+	mov  r5, 0                       // round counter
+Lround:
+	shl  r6, r5, 2
+	add  r6, r6, %param1
+	ld.global r7, [r6]               // round key (uniform across warp)
+	and  r8, r4, 255                 // low byte indexes the S-box
+	shl  r8, r8, 2
+	add  r8, r8, %param0
+	ld.global r9, [r8]               // sbox[state & 0xff]
+	shr  r10, r4, 8
+	xor  r4, r9, r10
+	xor  r4, r4, r7                  // mix in round key
+	add  r5, r5, 1
+	setp.lt p0, r5, %param4
+@p0	bra Lround
+	add  r11, r2, %param3
+	st.global [r11], r4
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "aes",
+		Suite:       "gpgpu-sim",
+		Description: "AES-like S-box round function; zero divergence, uniform round keys",
+		Build:       buildAES,
+	})
+}
+
+func buildAES(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 128, 256)
+	rounds := s.pick(6, 32, 48)
+	n := ctas * block
+
+	r := rng(0xae5)
+	sbox := make([]int32, 256)
+	for i := range sbox {
+		sbox[i] = int32(r.Uint32())
+	}
+	keys := make([]int32, rounds)
+	for i := range keys {
+		keys[i] = int32(r.Uint32())
+	}
+	input := make([]int32, n)
+	for i := range input {
+		input[i] = int32(r.Uint32())
+	}
+
+	want := make([]int32, n)
+	for i, v := range input {
+		state := uint32(v)
+		for rd := 0; rd < rounds; rd++ {
+			state = uint32(sbox[state&255]) ^ (state >> 8) ^ uint32(keys[rd])
+		}
+		want[i] = int32(state)
+	}
+
+	sboxAddr, err := allocInt32(m, sbox)
+	if err != nil {
+		return nil, err
+	}
+	keyAddr, err := allocInt32(m, keys)
+	if err != nil {
+		return nil, err
+	}
+	inAddr, err := allocInt32(m, input)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("aes", aesSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{sboxAddr, keyAddr, inAddr, outAddr, uint32(rounds)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "aes.out")
+		},
+	}, nil
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// backprop is Rodinia's neural-network forward layer: each thread computes
+// one output unit's weighted sum over the (warp-uniform) input activations,
+// then a rational squashing function. Weight magnitudes are small and inputs
+// are shared across the warp, giving moderate value similarity with no
+// divergence.
+//
+// Params: %param0=weights %param1=inputs %param2=out %param3=numInputs.
+const backpropSrc = `
+.kernel backprop
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // output unit
+	mul  r2, r1, %param3
+	shl  r2, r2, 2
+	add  r2, r2, %param0             // weight row base
+	mov  r3, 0                       // acc
+	mov  r4, 0                       // k
+Lsum:
+	shl  r5, r4, 2
+	add  r6, r5, r2
+	ld.global r7, [r6]               // w[unit][k]
+	add  r8, r5, %param1
+	ld.global r9, [r8]               // in[k] (uniform)
+	fma  r3, r7, r9, r3
+	add  r4, r4, 1
+	setp.lt p0, r4, %param3
+@p0	bra Lsum
+	// squash(x) = x / (1 + |x|): a divergence-free sigmoid stand-in.
+	and  r10, r3, 0x7fffffff         // float |x|: clear the sign bit
+	fadd r10, r10, 1.0
+	frcp r10, r10
+	fmul r11, r3, r10
+	shl  r12, r1, 2
+	add  r12, r12, %param2
+	st.global [r12], r11
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "backprop",
+		Suite:       "rodinia",
+		Description: "neural net forward layer; uniform input reads, small-range weights",
+		Build:       buildBackprop,
+	})
+}
+
+func buildBackprop(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 64, 128)
+	numIn := s.pick(8, 48, 64)
+	units := ctas * block
+
+	r := rng(0xbac0)
+	weights := make([]float32, units*numIn)
+	for i := range weights {
+		weights[i] = float32(r.Intn(21)-10) * 0.05 // -0.5 .. 0.5
+	}
+	inputs := make([]float32, numIn)
+	for i := range inputs {
+		inputs[i] = float32(r.Intn(100)) * 0.01
+	}
+
+	want := make([]float32, units)
+	for u := 0; u < units; u++ {
+		var acc float32
+		for k := 0; k < numIn; k++ {
+			acc = float32(weights[u*numIn+k]*inputs[k]) + acc
+		}
+		a := acc
+		if a < 0 {
+			a = -a
+		}
+		a = a + 1.0
+		a = 1 / a
+		want[u] = float32(acc * a)
+	}
+
+	wAddr, err := allocFloat32(m, weights)
+	if err != nil {
+		return nil, err
+	}
+	inAddr, err := allocFloat32(m, inputs)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * units)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("backprop", backpropSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{wAddr, inAddr, outAddr, uint32(numIn)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "backprop.out")
+		},
+	}, nil
+}

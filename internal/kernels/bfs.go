@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// bfs is one level-expansion wave of breadth-first search over a CSR graph
+// (Rodinia bfs). Frontier membership and per-node degree are data-dependent,
+// which makes this the most divergent benchmark in the suite — the paper
+// singles BFS out as one of the few workloads whose compressed-register
+// share drops markedly during divergence.
+//
+// Params: %param0=rowptr %param1=colidx %param2=level %param3=numNodes
+// %param4=currentLevel.
+const bfsSrc = `
+.kernel bfs
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // node id
+	setp.ge p0, r1, %param3
+@p0	bra Lend                         // tail threads: no node
+	shl  r2, r1, 2
+	add  r3, r2, %param2
+	ld.global r4, [r3]               // level[node]
+	setp.ne p1, r4, %param4
+@p1	bra Lend                         // not in frontier
+	add  r5, r2, %param0
+	ld.global r6, [r5]               // rowptr[node]
+	ld.global r7, [r5+4]             // rowptr[node+1]
+	setp.ge p2, r6, r7
+@p2	bra Lend                         // isolated node
+Ledge:
+	shl  r8, r6, 2
+	add  r8, r8, %param1
+	ld.global r9, [r8]               // neighbour
+	shl  r10, r9, 2
+	add  r10, r10, %param2
+	ld.global r11, [r10]             // level[neighbour]
+	setp.ne p3, r11, -1
+@p3	bra Lnext
+	add  r12, %param4, 1
+	st.global [r10], r12             // claim neighbour for next level
+Lnext:
+	add  r6, r6, 1
+	setp.lt p4, r6, r7
+@p4	bra Ledge
+Lend:
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "bfs",
+		Suite:       "rodinia",
+		Description: "one BFS frontier expansion over CSR graph; heavy data-dependent divergence",
+		Build:       buildBFS,
+	})
+}
+
+func buildBFS(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 144, 288)
+	nodes := ctas * block
+
+	r := rng(0xbf5)
+	rowptr := make([]int32, nodes+1)
+	var colidx []int32
+	for n := 0; n < nodes; n++ {
+		rowptr[n] = int32(len(colidx))
+		deg := r.Intn(7) // 0..6 edges, some isolated nodes
+		for e := 0; e < deg; e++ {
+			colidx = append(colidx, int32(r.Intn(nodes)))
+		}
+	}
+	rowptr[nodes] = int32(len(colidx))
+
+	// Host BFS from node 0 to seed the level array at the current wave.
+	const curLevel = 2
+	level := make([]int32, nodes)
+	for i := range level {
+		level[i] = -1
+	}
+	frontier := []int32{0}
+	level[0] = 0
+	for d := int32(1); d <= curLevel && len(frontier) > 0; d++ {
+		var next []int32
+		for _, n := range frontier {
+			for e := rowptr[n]; e < rowptr[n+1]; e++ {
+				nb := colidx[e]
+				if level[nb] == -1 {
+					level[nb] = d
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	// Anything deeper than the current level stays undiscovered.
+	for i := range level {
+		if level[i] > curLevel {
+			level[i] = -1
+		}
+	}
+
+	// Reference: expand the curLevel frontier one wave.
+	want := append([]int32(nil), level...)
+	for n := 0; n < nodes; n++ {
+		if level[n] != curLevel {
+			continue
+		}
+		for e := rowptr[n]; e < rowptr[n+1]; e++ {
+			if nb := colidx[e]; want[nb] == -1 {
+				want[nb] = curLevel + 1
+			}
+		}
+	}
+
+	rowAddr, err := allocInt32(m, rowptr)
+	if err != nil {
+		return nil, err
+	}
+	if len(colidx) == 0 {
+		colidx = []int32{0} // keep the allocation non-empty
+	}
+	colAddr, err := allocInt32(m, colidx)
+	if err != nil {
+		return nil, err
+	}
+	lvlAddr, err := allocInt32(m, level)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("bfs", bfsSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{rowAddr, colAddr, lvlAddr, uint32(nodes), uint32(curLevel)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, lvlAddr, want, "bfs.level")
+		},
+	}, nil
+}

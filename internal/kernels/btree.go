@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// btree is Rodinia's b+tree lookup kernel: each thread walks a perfect
+// 4-ary search tree (heap layout, children of n at 4n+1..4n+4) from root to
+// leaf for its own query key. The inner separator scan breaks at a
+// data-dependent position and the per-level node ids diverge, producing the
+// gathering, branch-heavy access pattern of the original.
+//
+// Params: %param0=separators (4 per internal node) %param1=leafValues
+// %param2=queries %param3=out %param4=depth %param5=firstLeaf.
+const btreeSrc = `
+.kernel btree
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // query index
+	shl  r2, r1, 2
+	add  r3, r2, %param2
+	ld.global r4, [r3]               // key
+	mov  r5, 0                       // node = root
+	mov  r6, 0                       // level
+Llevel:
+	mov  r7, 0                       // child slot i
+Lscan:
+	shl  r8, r5, 2
+	add  r8, r8, r7                  // separator index = node*4 + i
+	shl  r9, r8, 2
+	add  r9, r9, %param0
+	ld.global r10, [r9]              // separator (max key of child i)
+	setp.le p0, r4, r10
+@p0	bra Lfound                       // data-dependent break
+	add  r7, r7, 1
+	setp.lt p1, r7, 3                // slots 0..2 tested; slot 3 is default
+@p1	bra Lscan
+Lfound:
+	mad  r5, r5, 4, r7
+	add  r5, r5, 1                   // node = 4*node + 1 + i
+	add  r6, r6, 1
+	setp.lt p2, r6, %param4
+@p2	bra Llevel
+	sub  r11, r5, %param5            // leaf number
+	shl  r11, r11, 2
+	add  r11, r11, %param1
+	ld.global r12, [r11]             // stored value
+	add  r13, r2, %param3
+	st.global [r13], r12
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "btree",
+		Suite:       "rodinia",
+		Description: "b+tree key lookups; data-dependent separator scans and gathering node loads",
+		Build:       buildBTree,
+	})
+}
+
+func buildBTree(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	const fanout = 4
+	ctas := s.pick(4, 64, 128)
+	depth := s.pick(4, 5, 6) // 4^5 = 1024 leaves at medium
+	queries := ctas * block
+
+	leaves := 1
+	for i := 0; i < depth; i++ {
+		leaves *= fanout
+	}
+	internal := (leaves - 1) / (fanout - 1) // perfect tree internal nodes
+	firstLeaf := internal
+
+	// Leaf l covers keys [l*keysPerLeaf, (l+1)*keysPerLeaf).
+	const keysPerLeaf = 8
+	maxKey := leaves * keysPerLeaf
+
+	// leafMax[l] = largest key in leaf l; separators for internal node n,
+	// slot i = max key of the subtree under child i.
+	subtreeMax := func(node int) int32 {
+		// Descend to the right-most leaf of the subtree.
+		for node < firstLeaf {
+			node = fanout*node + fanout
+		}
+		leaf := node - firstLeaf
+		return int32((leaf+1)*keysPerLeaf - 1)
+	}
+	seps := make([]int32, internal*fanout)
+	for n := 0; n < internal; n++ {
+		for i := 0; i < fanout; i++ {
+			seps[n*fanout+i] = subtreeMax(fanout*n + 1 + i)
+		}
+	}
+	leafVals := make([]int32, leaves)
+	for l := range leafVals {
+		leafVals[l] = int32(l*7 + 3)
+	}
+
+	r := rng(0xb7e)
+	q := make([]int32, queries)
+	want := make([]int32, queries)
+	for i := range q {
+		q[i] = int32(r.Intn(maxKey))
+		want[i] = leafVals[int(q[i])/keysPerLeaf]
+	}
+
+	sepAddr, err := allocInt32(m, seps)
+	if err != nil {
+		return nil, err
+	}
+	leafAddr, err := allocInt32(m, leafVals)
+	if err != nil {
+		return nil, err
+	}
+	qAddr, err := allocInt32(m, q)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * queries)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("btree", btreeSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{sepAddr, leafAddr, qAddr, outAddr, uint32(depth), uint32(firstLeaf)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "btree.value")
+		},
+	}, nil
+}

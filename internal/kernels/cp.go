@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// cp is GPGPU-Sim's coulombic-potential kernel: every thread owns one grid
+// point and accumulates q_i / dist_i over all atoms. The atom array is read
+// warp-uniformly each iteration (classic <4,0> traffic) while per-thread
+// coordinates are index-affine.
+//
+// Params: %param0=atoms (x,y,q triplets) %param1=out %param2=numAtoms
+// %param3=gridWidth.
+const cpSrc = `
+.kernel cp
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // grid point index
+	rem  r2, r1, %param3             // gx
+	div  r3, r1, %param3             // gy
+	i2f  r2, r2
+	i2f  r3, r3
+	fmul r2, r2, 0.5                 // point coordinates (spacing 0.5)
+	fmul r3, r3, 0.5
+	mov  r4, 0                       // potential = 0.0f
+	mov  r5, 0                       // atom index
+Latom:
+	mul  r6, r5, 12                  // 3 floats per atom
+	add  r6, r6, %param0
+	ld.global r7, [r6]               // ax (uniform)
+	ld.global r8, [r6+4]             // ay
+	ld.global r9, [r6+8]             // q
+	fsub r7, r7, r2                  // dx
+	fsub r8, r8, r3                  // dy
+	fmul r10, r7, r7
+	fma  r10, r8, r8, r10
+	fadd r10, r10, 0.01              // softening avoids 1/0
+	fsqrt r10, r10
+	frcp r10, r10
+	fma  r4, r9, r10, r4             // pot += q / dist
+	add  r5, r5, 1
+	setp.lt p0, r5, %param2
+@p0	bra Latom
+	shl  r11, r1, 2
+	add  r11, r11, %param1
+	st.global [r11], r4
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "cp",
+		Suite:       "gpgpu-sim",
+		Description: "coulombic potential grid; uniform atom reads, no divergence",
+		Build:       buildCP,
+	})
+}
+
+func buildCP(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	const gridWidth = 64
+	ctas := s.pick(4, 64, 128)
+	atoms := s.pick(8, 24, 40)
+	points := ctas * block
+
+	r := rng(0xc9)
+	atomData := make([]float32, 3*atoms)
+	for a := 0; a < atoms; a++ {
+		atomData[3*a] = float32(r.Intn(128)) * 0.25   // x
+		atomData[3*a+1] = float32(r.Intn(128)) * 0.25 // y
+		atomData[3*a+2] = float32(r.Intn(8)+1) * 0.5  // charge
+	}
+
+	want := make([]float32, points)
+	for p := 0; p < points; p++ {
+		px := float32(float32(int32(p%gridWidth)) * 0.5)
+		py := float32(float32(int32(p/gridWidth)) * 0.5)
+		var pot float32
+		for a := 0; a < atoms; a++ {
+			dx := atomData[3*a] - px
+			dy := atomData[3*a+1] - py
+			d := float32(dx * dx)
+			d = float32(dy*dy) + d
+			d = d + 0.01
+			d = float32(math.Sqrt(float64(d)))
+			d = 1 / d
+			pot = float32(atomData[3*a+2]*d) + pot
+		}
+		want[p] = pot
+	}
+
+	atomAddr, err := allocFloat32(m, atomData)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * points)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("cp", cpSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{atomAddr, outAddr, uint32(atoms), gridWidth},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "cp.pot")
+		},
+	}, nil
+}

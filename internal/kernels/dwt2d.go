@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// dwt2d is Rodinia's discrete wavelet transform, reduced to one integer Haar
+// lifting pass along rows: each thread transforms one sample pair into a
+// (low, high) pair. The last pair of every row handles the odd boundary
+// differently, and 8-bit pixel inputs keep register values in a narrow band.
+//
+// Params: %param0=in %param1=low %param2=high %param3=pairsPerRow.
+const dwt2dSrc = `
+.kernel dwt2d
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // pair index
+	shl  r2, r1, 3                   // byte offset of sample pair (2 words)
+	add  r3, r2, %param0
+	ld.global r4, [r3]               // a = even sample
+	ld.global r5, [r3+4]             // b = odd sample
+	rem  r6, r1, %param3             // pair position within the row
+	add  r7, r6, 1
+	setp.eq p0, r7, %param3          // last pair of the row?
+@!p0	bra Linterior
+	// Boundary: symmetric extension, high band folds to zero offset.
+	add  r8, r4, r4
+	sra  r8, r8, 1                   // low = (a+a)>>1 = a
+	sub  r9, r4, r5                  // high = a-b
+	bra  Lstore
+Linterior:
+	add  r8, r4, r5
+	sra  r8, r8, 1                   // low = (a+b)>>1
+	sub  r9, r4, r5                  // high = a-b
+Lstore:
+	shl  r10, r1, 2
+	add  r11, r10, %param1
+	st.global [r11], r8
+	add  r12, r10, %param2
+	st.global [r12], r9
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "dwt2d",
+		Suite:       "rodinia",
+		Description: "integer Haar wavelet lifting; narrow pixel range, row-boundary divergence",
+		Build:       buildDWT2D,
+	})
+}
+
+func buildDWT2D(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	pairsPerRow := 32
+	rows := s.pick(16, 1024, 2048)
+	pairs := pairsPerRow * rows
+	ctas := pairs / block
+
+	r := rng(0xd72d)
+	in := make([]int32, pairs*2)
+	for i := range in {
+		in[i] = int32(r.Intn(256)) // 8-bit pixels
+	}
+
+	low := make([]int32, pairs)
+	high := make([]int32, pairs)
+	for p := 0; p < pairs; p++ {
+		a, b := in[2*p], in[2*p+1]
+		if p%pairsPerRow == pairsPerRow-1 {
+			low[p] = (a + a) >> 1
+			high[p] = a - b
+		} else {
+			low[p] = (a + b) >> 1
+			high[p] = a - b
+		}
+	}
+
+	inAddr, err := allocInt32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	lowAddr, err := m.Alloc(4 * pairs)
+	if err != nil {
+		return nil, err
+	}
+	highAddr, err := m.Alloc(4 * pairs)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("dwt2d", dwt2dSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{inAddr, lowAddr, highAddr, uint32(pairsPerRow)},
+		},
+		Check: func(m *mem.Global) error {
+			if err := checkInt32(m, lowAddr, low, "dwt2d.low"); err != nil {
+				return err
+			}
+			return checkInt32(m, highAddr, high, "dwt2d.high")
+		},
+	}, nil
+}

@@ -1,0 +1,103 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// gaussian is Rodinia's Gaussian elimination update for one pivot column k:
+// every thread owns one matrix element (i,j) and applies
+// a[i][j] -= (a[i][k]/a[k][k]) * a[k][j] when i>k and j>=k. The triangular
+// guard makes warps covering pivot-adjacent rows diverge; pivot-row loads
+// are warp-uniform.
+//
+// Params: %param0=a %param1=out %param2=n %param3=k.
+const gaussianSrc = `
+.kernel gaussian
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // element index
+	div  r2, r1, %param2             // i
+	rem  r3, r1, %param2             // j
+	shl  r4, r1, 2
+	add  r5, r4, %param0
+	ld.global r6, [r5]               // a[i][j]
+	setp.le p0, r2, %param3          // i <= k: passthrough
+@p0	bra Lcopy
+	setp.lt p1, r3, %param3          // j < k: passthrough
+@p1	bra Lcopy
+	mad  r7, r2, %param2, %param3    // index of a[i][k]
+	shl  r7, r7, 2
+	add  r7, r7, %param0
+	ld.global r8, [r7]               // a[i][k]
+	mad  r9, %param3, %param2, %param3 // index of a[k][k]
+	shl  r9, r9, 2
+	add  r9, r9, %param0
+	ld.global r10, [r9]              // a[k][k] (uniform)
+	frcp r10, r10
+	fmul r11, r8, r10                // multiplier m_i
+	mad  r12, %param3, %param2, r3   // index of a[k][j]
+	shl  r12, r12, 2
+	add  r12, r12, %param0
+	ld.global r13, [r12]             // a[k][j]
+	fmul r14, r11, r13
+	fsub r6, r6, r14
+Lcopy:
+	add  r15, r4, %param1
+	st.global [r15], r6
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "gaussian",
+		Suite:       "rodinia",
+		Description: "Gaussian elimination column update; triangular-guard divergence, uniform pivot row",
+		Build:       buildGaussian,
+	})
+}
+
+func buildGaussian(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	n := s.pick(32, 160, 224) // n*n divides by block for all scales
+	k := n / 3
+
+	r := rng(0x9055)
+	a := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float32(r.Intn(9)-4) * 0.5
+		}
+		a[i*n+i] = float32(n) // diagonal dominance keeps 1/a[k][k] tame
+	}
+
+	want := make([]float32, n*n)
+	copy(want, a)
+	pivotRcp := 1 / a[k*n+k]
+	for i := k + 1; i < n; i++ {
+		mlt := float32(a[i*n+k] * pivotRcp)
+		for j := k; j < n; j++ {
+			want[i*n+j] = a[i*n+j] - float32(mlt*a[k*n+j])
+		}
+	}
+
+	aAddr, err := allocFloat32(m, a)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * n * n)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("gaussian", gaussianSrc),
+			Grid:   isa.Dim3{X: n * n / block},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{aAddr, outAddr, uint32(n), uint32(k)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "gaussian.out")
+		},
+	}, nil
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// histo is Parboil's histogramming kernel: every thread walks a grid-stride
+// slice of the input and bumps its bin with an atomic add. Bin indices come
+// from 8-bit image data (narrow range), and colliding atomics serialize at
+// the memory side.
+//
+// Params: %param0=in %param1=hist %param2=n %param3=stride %param4=items.
+const histoSrc = `
+.kernel histo
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // gid
+	mov  r2, 0                       // item counter
+Litem:
+	mad  r3, r2, %param3, r1         // index = i*stride + gid
+	setp.ge p0, r3, %param2
+@p0	bra Lnext
+	shl  r4, r3, 2
+	add  r4, r4, %param0
+	ld.global r5, [r4]               // 0..255 pixel value
+	shl  r6, r5, 2
+	add  r6, r6, %param1
+	atom.add r7, [r6], 1             // hist[value]++
+Lnext:
+	add  r2, r2, 1
+	setp.lt p1, r2, %param4
+@p1	bra Litem
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "histo",
+		Suite:       "parboil",
+		Description: "atomic histogramming of 8-bit data; same-bin atomics serialize",
+		Build:       buildHisto,
+	})
+}
+
+func buildHisto(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	const bins = 256
+	ctas := s.pick(4, 64, 128)
+	items := s.pick(2, 6, 8)
+	threads := ctas * block
+	n := threads * items
+
+	r := rng(0x815)
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(r.Intn(bins))
+	}
+
+	want := make([]int32, bins)
+	for _, v := range in {
+		want[v]++
+	}
+
+	inAddr, err := allocInt32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	histAddr, err := m.Alloc(4 * bins)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("histo", histoSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{inAddr, histAddr, uint32(n), uint32(threads), uint32(items)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, histAddr, want, "histo.bins")
+		},
+	}, nil
+}

@@ -1,0 +1,151 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// hotspot is Rodinia's thermal simulation: a 2-D five-point stencil where
+// boundary cells clamp to themselves. Temperatures live in a narrow band
+// (value similarity) and border threads diverge on the clamp predicates.
+//
+// Layout: one CTA row of 128 threads handles 128 consecutive cells of a
+// width x height grid (row-major). Params: %param0=temp %param1=power
+// %param2=out %param3=width %param4=height.
+const hotspotSrc = `
+.kernel hotspot
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // cell index
+	div  r2, r1, %param3             // y
+	rem  r3, r1, %param3             // x
+	shl  r4, r1, 2
+	add  r5, r4, %param0
+	ld.global r6, [r5]               // center temperature
+
+	// North neighbour (clamped at y == 0).
+	mov  r7, r6
+	setp.eq p0, r2, 0
+@p0	bra Lsouth
+	sub  r8, r1, %param3
+	shl  r8, r8, 2
+	add  r8, r8, %param0
+	ld.global r7, [r8]
+Lsouth:
+	mov  r9, r6
+	add  r10, r2, 1
+	setp.ge p1, r10, %param4
+@p1	bra Lwest
+	add  r11, r1, %param3
+	shl  r11, r11, 2
+	add  r11, r11, %param0
+	ld.global r9, [r11]
+Lwest:
+	mov  r12, r6
+	setp.eq p2, r3, 0
+@p2	bra Least
+	sub  r13, r4, 4
+	add  r13, r13, %param0
+	ld.global r12, [r13]
+Least:
+	mov  r14, r6
+	add  r15, r3, 1
+	setp.ge p3, r15, %param3
+@p3	bra Lcalc
+	add  r16, r4, 4
+	add  r16, r16, %param0
+	ld.global r14, [r16]
+Lcalc:
+	fadd r17, r7, r9                 // N + S
+	fadd r17, r17, r12               // + W
+	fadd r17, r17, r14               // + E
+	fmul r18, r6, 4.0
+	fsub r17, r17, r18               // laplacian
+	fmul r17, r17, 0.125             // diffusion constant
+	add  r19, r4, %param1
+	ld.global r20, [r19]             // power[cell]
+	fadd r17, r17, r20
+	fadd r21, r6, r17                // new temperature
+	add  r22, r4, %param2
+	st.global [r22], r21
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "hotspot",
+		Suite:       "rodinia",
+		Description: "2-D thermal stencil with boundary-clamp divergence; narrow temperature band",
+		Build:       buildHotspot,
+	})
+}
+
+func buildHotspot(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	width := s.pick(64, 128, 256)
+	height := s.pick(8, 320, 512)
+	cells := width * height
+	ctas := cells / block
+
+	r := rng(0x407)
+	temp := make([]float32, cells)
+	for i := range temp {
+		temp[i] = 324 + float32(r.Intn(160))*0.1 // 324.0 .. 340.0 K
+	}
+	power := make([]float32, cells)
+	for i := range power {
+		power[i] = float32(r.Intn(10)) * 0.001
+	}
+
+	want := make([]float32, cells)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			i := y*width + x
+			c := temp[i]
+			n, sv, w, e := c, c, c, c
+			if y > 0 {
+				n = temp[i-width]
+			}
+			if y+1 < height {
+				sv = temp[i+width]
+			}
+			if x > 0 {
+				w = temp[i-1]
+			}
+			if x+1 < width {
+				e = temp[i+1]
+			}
+			lap := float32(n + sv)
+			lap = lap + w
+			lap = lap + e
+			lap = lap - float32(c*4.0)
+			lap = float32(lap * 0.125)
+			lap = lap + power[i]
+			want[i] = c + lap
+		}
+	}
+
+	tempAddr, err := allocFloat32(m, temp)
+	if err != nil {
+		return nil, err
+	}
+	powerAddr, err := allocFloat32(m, power)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * cells)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("hotspot", hotspotSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{tempAddr, powerAddr, outAddr, uint32(width), uint32(height)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "hotspot.out")
+		},
+	}, nil
+}

@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// kmeans is Rodinia's cluster-assignment kernel: one thread per point,
+// looping over K centroids x D features to find the nearest centroid.
+// Control flow is uniform (fixed K and D) and every thread reads the same
+// centroid values each iteration, so centroid registers are warp-uniform.
+//
+// Params: %param0=points %param1=centroids %param2=membership %param3=K.
+// D is fixed at 4 features.
+const kmeansSrc = `
+.kernel kmeans
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // point index
+	shl  r2, r1, 4                   // point base: 4 features * 4 bytes
+	add  r2, r2, %param0
+	ld.global r3, [r2]               // f0
+	ld.global r4, [r2+4]             // f1
+	ld.global r5, [r2+8]             // f2
+	ld.global r6, [r2+12]            // f3
+	mov  r7, 0x7f7fffff              // best distance = +FLT_MAX
+	mov  r8, 0                       // best index
+	mov  r9, 0                       // k
+Lcent:
+	shl  r10, r9, 4
+	add  r10, r10, %param1
+	ld.global r11, [r10]             // c0 (uniform)
+	ld.global r12, [r10+4]
+	ld.global r13, [r10+8]
+	ld.global r14, [r10+12]
+	fsub r11, r3, r11
+	fsub r12, r4, r12
+	fsub r13, r5, r13
+	fsub r14, r6, r14
+	fmul r15, r11, r11
+	fma  r15, r12, r12, r15
+	fma  r15, r13, r13, r15
+	fma  r15, r14, r14, r15          // squared distance
+	setp.flt p0, r15, r7
+	selp r7, r15, r7, p0             // best distance
+	selp r8, r9, r8, p0              // best index
+	add  r9, r9, 1
+	setp.lt p1, r9, %param3
+@p1	bra Lcent
+	shl  r16, r1, 2
+	add  r16, r16, %param2
+	st.global [r16], r8
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "kmeans",
+		Suite:       "rodinia",
+		Description: "nearest-centroid assignment; uniform loops, warp-uniform centroid reads",
+		Build:       buildKMeans,
+	})
+}
+
+func buildKMeans(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	const dim = 4
+	ctas := s.pick(4, 96, 192)
+	k := s.pick(4, 10, 12)
+	n := ctas * block
+
+	r := rng(0x4a3a)
+	points := make([]float32, n*dim)
+	for i := range points {
+		points[i] = float32(r.Intn(64)) * 0.25
+	}
+	cents := make([]float32, k*dim)
+	for i := range cents {
+		cents[i] = float32(r.Intn(64)) * 0.25
+	}
+
+	want := make([]int32, n)
+	for p := 0; p < n; p++ {
+		bestD := float32(3.4028234663852886e+38) // +FLT_MAX
+		best := int32(0)
+		for c := 0; c < k; c++ {
+			var d float32
+			d0 := points[p*dim] - cents[c*dim]
+			d1 := points[p*dim+1] - cents[c*dim+1]
+			d2 := points[p*dim+2] - cents[c*dim+2]
+			d3 := points[p*dim+3] - cents[c*dim+3]
+			d = float32(d0 * d0)
+			d = float32(d1*d1) + d
+			d = float32(d2*d2) + d
+			d = float32(d3*d3) + d
+			if d < bestD {
+				bestD, best = d, int32(c)
+			}
+		}
+		want[p] = best
+	}
+
+	ptsAddr, err := allocFloat32(m, points)
+	if err != nil {
+		return nil, err
+	}
+	cenAddr, err := allocFloat32(m, cents)
+	if err != nil {
+		return nil, err
+	}
+	memAddr, err := m.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("kmeans", kmeansSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{ptsAddr, cenAddr, memAddr, uint32(k)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, memAddr, want, "kmeans.membership")
+		},
+	}, nil
+}

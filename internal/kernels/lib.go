@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// lib models the GPGPU-Sim LIBOR Monte Carlo kernel. The paper highlights it
+// as the best case for warped-compression: "the input data is initialized to
+// constant values, therefore it has zero dynamic range. As a result, most of
+// warp registers can be perfectly compressed" — every thread computes on the
+// same constant forward-rate curve, so nearly all warp registers hit the
+// <4,0> (all-lanes-identical) encoding.
+//
+// Params: %param0=rates %param1=out %param2=maturities.
+const libSrc = `
+.kernel lib
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // path index
+	mov  r2, 0                       // i
+	mov  r3, 0x3f800000              // v = 1.0
+Lmat:
+	shl  r4, r2, 2
+	add  r4, r4, %param0
+	ld.global r5, [r4]               // L[i]: constant-initialized (0.05)
+	fmul r6, r5, 0.25                // delta * L
+	fadd r6, r6, 1.0                 // 1 + delta*L
+	frcp r6, r6                      // discount factor
+	fmul r3, r3, r6                  // v *= discount
+	add  r2, r2, 1
+	setp.lt p0, r2, %param2
+@p0	bra Lmat
+	shl  r7, r1, 2
+	add  r7, r7, %param1
+	st.global [r7], r3
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "lib",
+		Suite:       "gpgpu-sim",
+		Description: "LIBOR Monte Carlo discounting; constant inputs => zero dynamic range (best case)",
+		Build:       buildLIB,
+	})
+}
+
+func buildLIB(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 96, 192)
+	maturities := s.pick(8, 40, 60)
+	n := ctas * block
+
+	// The defining property: every input element is the same constant.
+	rates := make([]float32, maturities)
+	for i := range rates {
+		rates[i] = 0.05
+	}
+
+	var v float32 = 1.0
+	for i := 0; i < maturities; i++ {
+		d := float32(rates[i] * 0.25)
+		d = d + 1.0
+		d = 1 / d
+		v = float32(v * d)
+	}
+	want := make([]float32, n)
+	for i := range want {
+		want[i] = v
+	}
+
+	ratesAddr, err := allocFloat32(m, rates)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("lib", libSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{ratesAddr, outAddr, uint32(maturities)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "lib.out")
+		},
+	}, nil
+}

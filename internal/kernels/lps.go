@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// lps is GPGPU-Sim's Laplace solver reduced to 2-D: each CTA relaxes one
+// 16x16 tile in shared memory (load, barrier, weighted Jacobi step). The
+// four tile-edge clamps produce the same border divergence as the original's
+// halo handling.
+//
+// Params: %param0=in tiles %param1=out tiles (16x16 floats per CTA).
+const lpsSrc = `
+.kernel lps
+.shared 1024
+	mov  r0, %tid.x
+	and  r1, r0, 15              // lx
+	shr  r2, r0, 4               // ly
+	mov  r3, %ctaid.x
+	shl  r4, r0, 2               // shared offset
+	mul  r5, r3, 1024            // tile base
+	add  r5, r5, %param0
+	add  r6, r4, r5
+	ld.global r7, [r6]           // u
+	st.shared [r4], r7
+	bar.sync
+	mov  r8, r7                  // north (clamped)
+	setp.eq p0, r2, 0
+@p0	bra Ls
+	sub  r9, r4, 64
+	ld.shared r8, [r9]
+Ls:
+	mov  r10, r7                 // south
+	setp.eq p1, r2, 15
+@p1	bra Lw
+	add  r11, r4, 64
+	ld.shared r10, [r11]
+Lw:
+	mov  r12, r7                 // west
+	setp.eq p2, r1, 0
+@p2	bra Le
+	sub  r13, r4, 4
+	ld.shared r12, [r13]
+Le:
+	mov  r14, r7                 // east
+	setp.eq p3, r1, 15
+@p3	bra Lcalc
+	add  r15, r4, 4
+	ld.shared r14, [r15]
+Lcalc:
+	fadd r16, r8, r10
+	fadd r16, r16, r12
+	fadd r16, r16, r14
+	fmul r16, r16, 0.25          // neighbour average
+	fsub r16, r16, r7
+	fmul r16, r16, 0.8           // relaxation factor
+	fadd r16, r16, r7
+	mul  r17, r3, 1024
+	add  r17, r17, %param1
+	add  r17, r17, r4
+	st.global [r17], r16
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "lps",
+		Suite:       "gpgpu-sim",
+		Description: "shared-memory Laplace relaxation per 16x16 tile; tile-edge divergence",
+		Build:       buildLPS,
+	})
+}
+
+func buildLPS(m *mem.Global, s Scale) (*Instance, error) {
+	const tile = 16
+	ctas := s.pick(8, 96, 192)
+
+	r := rng(0x195)
+	in := make([]float32, ctas*tile*tile)
+	for i := range in {
+		in[i] = float32(r.Intn(100)) * 0.02
+	}
+
+	want := make([]float32, len(in))
+	for c := 0; c < ctas; c++ {
+		u := in[c*tile*tile : (c+1)*tile*tile]
+		out := want[c*tile*tile : (c+1)*tile*tile]
+		for y := 0; y < tile; y++ {
+			for x := 0; x < tile; x++ {
+				i := y*tile + x
+				n, sv, w, e := u[i], u[i], u[i], u[i]
+				if y > 0 {
+					n = u[i-tile]
+				}
+				if y < tile-1 {
+					sv = u[i+tile]
+				}
+				if x > 0 {
+					w = u[i-1]
+				}
+				if x < tile-1 {
+					e = u[i+1]
+				}
+				avg := float32(n + sv)
+				avg = avg + w
+				avg = avg + e
+				avg = float32(avg * 0.25)
+				avg = avg - u[i]
+				avg = float32(avg * 0.8)
+				out[i] = avg + u[i]
+			}
+		}
+	}
+
+	inAddr, err := allocFloat32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * len(in))
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("lps", lpsSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: tile * tile},
+			Params: [isa.NumParams]uint32{inAddr, outAddr},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "lps.u")
+		},
+	}, nil
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// lud is Rodinia's LU decomposition diagonal-block kernel: each CTA
+// factorizes one 16x16 block in shared memory (Doolittle, in place). The
+// i>k / j>k triangular guards shrink the active set every pivot step, the
+// paper's canonical structured-divergence pattern.
+//
+// Params: %param0=in blocks %param1=out blocks (16x16 floats per CTA).
+const ludSrc = `
+.kernel lud
+.shared 1024
+	mov  r0, %tid.x
+	shr  r1, r0, 4               // i
+	and  r2, r0, 15              // j
+	mov  r3, %ctaid.x
+	shl  r4, r0, 2               // shared offset of a[i][j]
+	mul  r5, r3, 1024            // this CTA's block base
+	add  r5, r5, %param0
+	add  r6, r4, r5
+	ld.global r7, [r6]
+	st.shared [r4], r7
+	bar.sync
+	mov  r8, 0                   // pivot k
+Lk:
+	setp.le p0, r1, r8           // column-normalize: i>k && j==k
+@p0	bra Lst2
+	setp.ne p1, r2, r8
+@p1	bra Lst2
+	mul  r9, r8, 68              // &a[k][k] = (k*16+k)*4
+	ld.shared r10, [r9]
+	frcp r10, r10
+	ld.shared r11, [r4]
+	fmul r11, r11, r10
+	st.shared [r4], r11
+Lst2:
+	bar.sync
+	setp.le p2, r1, r8           // trailing update: i>k && j>k
+@p2	bra Lnext
+	setp.le p3, r2, r8
+@p3	bra Lnext
+	shl  r12, r1, 4
+	add  r12, r12, r8
+	shl  r12, r12, 2
+	ld.shared r13, [r12]         // a[i][k]
+	shl  r14, r8, 4
+	add  r14, r14, r2
+	shl  r14, r14, 2
+	ld.shared r15, [r14]         // a[k][j]
+	fmul r16, r13, r15
+	ld.shared r17, [r4]
+	fsub r17, r17, r16
+	st.shared [r4], r17
+Lnext:
+	bar.sync
+	add  r8, r8, 1
+	setp.lt p4, r8, 15
+@p4	bra Lk
+	ld.shared r18, [r4]
+	mul  r19, r3, 1024
+	add  r19, r19, %param1
+	add  r19, r19, r4
+	st.global [r19], r18
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "lud",
+		Suite:       "rodinia",
+		Description: "16x16 shared-memory LU factorization; triangular divergence per pivot step",
+		Build:       buildLUD,
+	})
+}
+
+func buildLUD(m *mem.Global, s Scale) (*Instance, error) {
+	const bs = 16
+	ctas := s.pick(8, 96, 192)
+
+	r := rng(0x10d)
+	in := make([]float32, ctas*bs*bs)
+	for c := 0; c < ctas; c++ {
+		blk := in[c*bs*bs : (c+1)*bs*bs]
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				blk[i*bs+j] = float32(r.Intn(9)-4) * 0.25
+			}
+			blk[i*bs+i] = 16 + float32(r.Intn(4)) // diagonal dominance
+		}
+	}
+
+	want := make([]float32, len(in))
+	copy(want, in)
+	for c := 0; c < ctas; c++ {
+		a := want[c*bs*bs : (c+1)*bs*bs]
+		for k := 0; k < bs-1; k++ {
+			rcp := 1 / a[k*bs+k]
+			for i := k + 1; i < bs; i++ {
+				a[i*bs+k] = float32(a[i*bs+k] * rcp)
+			}
+			for i := k + 1; i < bs; i++ {
+				for j := k + 1; j < bs; j++ {
+					a[i*bs+j] = a[i*bs+j] - float32(a[i*bs+k]*a[k*bs+j])
+				}
+			}
+		}
+	}
+
+	inAddr, err := allocFloat32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * len(in))
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("lud", ludSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: bs * bs},
+			Params: [isa.NumParams]uint32{inAddr, outAddr},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "lud.block")
+		},
+	}, nil
+}

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// mum distills GPGPU-Sim's MUMmer DNA matching: every thread aligns the
+// query at its own reference offset and extends the match until the first
+// mismatch. Match lengths are data-dependent, so loop trip counts diverge
+// hard within warps — together with bfs this is the divergence stress case.
+// Symbols are 2-bit DNA codes stored one per word (narrow value range).
+//
+// Params: %param0=ref %param1=query %param2=out %param3=queryLen
+// %param4=refLen.
+const mumSrc = `
+.kernel mum
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // reference start position
+	mov  r2, 0                       // matched length
+Lmatch:
+	setp.ge p0, r2, %param3          // whole query matched?
+@p0	bra Ldone
+	add  r3, r1, r2                  // ref index
+	setp.ge p1, r3, %param4          // ran off the reference?
+@p1	bra Ldone
+	shl  r4, r3, 2
+	add  r4, r4, %param0
+	ld.global r5, [r4]               // ref symbol
+	shl  r6, r2, 2
+	add  r6, r6, %param1
+	ld.global r7, [r6]               // query symbol (uniform)
+	setp.ne p2, r5, r7
+@p2	bra Ldone
+	add  r2, r2, 1
+	bra  Lmatch
+Ldone:
+	shl  r8, r1, 2
+	add  r8, r8, %param2
+	st.global [r8], r2
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "mum",
+		Suite:       "gpgpu-sim",
+		Description: "DNA match extension per reference offset; data-dependent loop divergence",
+		Build:       buildMUM,
+	})
+}
+
+func buildMUM(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 64, 128)
+	queryLen := s.pick(8, 16, 24)
+	threads := ctas * block
+	refLen := threads + queryLen
+
+	r := rng(0x3a3)
+	ref := make([]int32, refLen)
+	for i := range ref {
+		ref[i] = int32(r.Intn(4)) // A/C/G/T
+	}
+	query := make([]int32, queryLen)
+	for i := range query {
+		query[i] = int32(r.Intn(4))
+	}
+	// Plant full matches at some offsets so long extensions occur.
+	for k := 0; k < threads; k += 97 {
+		copy(ref[k:k+queryLen], query)
+	}
+
+	want := make([]int32, threads)
+	for t := 0; t < threads; t++ {
+		n := int32(0)
+		for int(n) < queryLen && t+int(n) < refLen && ref[t+int(n)] == query[n] {
+			n++
+		}
+		want[t] = n
+	}
+
+	refAddr, err := allocInt32(m, ref)
+	if err != nil {
+		return nil, err
+	}
+	qAddr, err := allocInt32(m, query)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * threads)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("mum", mumSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{refAddr, qAddr, outAddr, uint32(queryLen), uint32(refLen)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "mum.len")
+		},
+	}, nil
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// nn is Rodinia's nearest-neighbor kernel: every thread computes the
+// Euclidean distance of one (latitude, longitude) record to the query
+// point. Completely uniform control flow over a narrow coordinate range.
+//
+// Params: %param0=records %param1=out %param2=targetLat %param3=targetLng
+// (the targets are float bit patterns).
+const nnSrc = `
+.kernel nn
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // record index
+	shl  r2, r1, 3                   // 2 floats per record
+	add  r2, r2, %param0
+	ld.global r3, [r2]               // lat
+	ld.global r4, [r2+4]             // lng
+	fsub r3, r3, %param2
+	fsub r4, r4, %param3
+	fmul r5, r3, r3
+	fma  r5, r4, r4, r5
+	fsqrt r5, r5                     // distance
+	shl  r6, r1, 2
+	add  r6, r6, %param1
+	st.global [r6], r5
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "nn",
+		Suite:       "rodinia",
+		Description: "nearest-neighbor distances to a query point; uniform, narrow coordinates",
+		Build:       buildNN,
+	})
+}
+
+func buildNN(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 96, 192)
+	n := ctas * block
+
+	r := rng(0x4e4e)
+	records := make([]float32, 2*n)
+	for i := range records {
+		records[i] = 20 + float32(r.Intn(200))*0.1 // 20.0 .. 40.0 degrees
+	}
+	const targetLat, targetLng = float32(30.0), float32(31.5)
+
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		dlat := records[2*i] - targetLat
+		dlng := records[2*i+1] - targetLng
+		d := float32(dlat * dlat)
+		d = float32(dlng*dlng) + d
+		want[i] = float32(math.Sqrt(float64(d)))
+	}
+
+	recAddr, err := allocFloat32(m, records)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("nn", nnSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{
+				recAddr, outAddr,
+				math.Float32bits(targetLat), math.Float32bits(targetLng),
+			},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "nn.dist")
+		},
+	}, nil
+}

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// nw is Rodinia's Needleman-Wunsch sequence alignment: each CTA fills a
+// 32x32 score tile in shared memory by anti-diagonal waves, with a barrier
+// per wave and the characteristic triangular divergence (thread tx is active
+// only while tx <= wave). Scores are small integers (narrow dynamic range).
+//
+// Params: %param0=ref tiles (32x32 per CTA) %param1=out tiles.
+const nwSrc = `
+.kernel nw
+.shared 4356
+	mov  r0, %tid.x
+	mov  r1, %ctaid.x
+	add  r2, r0, 1               // tx+1
+	mul  r3, r2, -1              // boundary score -(tx+1)
+	shl  r4, r2, 2               // S[0][tx+1]
+	st.shared [r4], r3
+	mul  r5, r2, 132             // S[tx+1][0] (row stride 33 words)
+	st.shared [r5], r3
+	setp.eq p0, r0, 0
+@p0	st.shared [0], 0             // S[0][0] = 0
+	bar.sync
+	mul  r6, r1, 4096            // this CTA's ref tile base offset
+	add  r6, r6, %param0
+
+	mov  r7, 0                   // wave m = 0..31 (upper-left triangle)
+Lw1:
+	setp.gt p1, r0, r7
+@p1	bra Lb1
+	add  r8, r0, 1               // x = tx+1
+	sub  r9, r7, r0
+	add  r9, r9, 1               // y = m-tx+1
+	mul  r10, r9, 33
+	add  r10, r10, r8
+	shl  r10, r10, 2             // &S[y][x]
+	sub  r11, r10, 136
+	ld.shared r12, [r11]         // S[y-1][x-1]
+	sub  r13, r9, 1
+	shl  r14, r13, 5
+	add  r14, r14, r0            // (y-1)*32 + (x-1)
+	shl  r14, r14, 2
+	add  r14, r14, r6
+	ld.global r15, [r14]         // ref[y-1][x-1]
+	add  r12, r12, r15
+	sub  r16, r10, 4
+	ld.shared r17, [r16]         // S[y][x-1]
+	sub  r17, r17, 1             // gap penalty
+	sub  r18, r10, 132
+	ld.shared r19, [r18]         // S[y-1][x]
+	sub  r19, r19, 1
+	max  r12, r12, r17
+	max  r12, r12, r19
+	st.shared [r10], r12
+Lb1:
+	bar.sync
+	add  r7, r7, 1
+	setp.lt p2, r7, 32
+@p2	bra Lw1
+
+	mov  r7, 30                  // wave m = 30..0 (lower-right triangle)
+Lw2:
+	setp.gt p1, r0, r7
+@p1	bra Lb2
+	sub  r8, r0, r7
+	add  r8, r8, 32              // x = tx + 32 - m
+	mov  r9, 32
+	sub  r9, r9, r0              // y = 32 - tx
+	mul  r10, r9, 33
+	add  r10, r10, r8
+	shl  r10, r10, 2
+	sub  r11, r10, 136
+	ld.shared r12, [r11]
+	sub  r13, r9, 1
+	shl  r14, r13, 5
+	add  r14, r14, r8
+	sub  r14, r14, 1             // (y-1)*32 + (x-1)
+	shl  r14, r14, 2
+	add  r14, r14, r6
+	ld.global r15, [r14]
+	add  r12, r12, r15
+	sub  r16, r10, 4
+	ld.shared r17, [r16]
+	sub  r17, r17, 1
+	sub  r18, r10, 132
+	ld.shared r19, [r18]
+	sub  r19, r19, 1
+	max  r12, r12, r17
+	max  r12, r12, r19
+	st.shared [r10], r12
+Lb2:
+	bar.sync
+	sub  r7, r7, 1
+	setp.ge p3, r7, 0
+@p3	bra Lw2
+
+	mov  r9, 1                   // write back column tx+1, rows 1..32
+Lout:
+	mul  r10, r9, 33
+	add  r10, r10, r2
+	shl  r10, r10, 2
+	ld.shared r12, [r10]
+	sub  r13, r9, 1
+	shl  r13, r13, 5
+	add  r13, r13, r0
+	shl  r13, r13, 2
+	mul  r14, r1, 4096
+	add  r13, r13, r14
+	add  r13, r13, %param1
+	st.global [r13], r12
+	add  r9, r9, 1
+	setp.le p4, r9, 32
+@p4	bra Lout
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "nw",
+		Suite:       "rodinia",
+		Description: "Needleman-Wunsch tile alignment; wavefront barriers, triangular divergence, small scores",
+		Build:       buildNW,
+	})
+}
+
+func buildNW(m *mem.Global, s Scale) (*Instance, error) {
+	const tile = 32
+	ctas := s.pick(8, 96, 192)
+
+	r := rng(0x0e77)
+	ref := make([]int32, ctas*tile*tile)
+	for i := range ref {
+		ref[i] = int32(r.Intn(7) - 3) // similarity scores -3..3
+	}
+
+	want := make([]int32, ctas*tile*tile)
+	for c := 0; c < ctas; c++ {
+		var score [tile + 1][tile + 1]int32
+		for x := 0; x <= tile; x++ {
+			score[0][x] = int32(-x)
+		}
+		for y := 1; y <= tile; y++ {
+			score[y][0] = int32(-y)
+		}
+		for y := 1; y <= tile; y++ {
+			for x := 1; x <= tile; x++ {
+				diag := score[y-1][x-1] + ref[c*tile*tile+(y-1)*tile+(x-1)]
+				west := score[y][x-1] - 1
+				north := score[y-1][x] - 1
+				best := diag
+				if west > best {
+					best = west
+				}
+				if north > best {
+					best = north
+				}
+				score[y][x] = best
+				want[c*tile*tile+(y-1)*tile+(x-1)] = best
+			}
+		}
+	}
+
+	refAddr, err := allocInt32(m, ref)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * len(want))
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("nw", nwSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: tile},
+			Params: [isa.NumParams]uint32{refAddr, outAddr},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "nw.score")
+		},
+	}, nil
+}

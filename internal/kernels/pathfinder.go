@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// pathfinder is the paper's Figure 4 motivating example: a dynamic-
+// programming shortest-path sweep. Each CTA owns a tile of columns; every
+// iteration each interior thread takes the min of its three upper neighbours
+// (shared memory) and adds the wall cost. The wall/prev inputs have the
+// original's 0..9 dynamic range, which is what gives the kernel its strong
+// register-value similarity; the IN_RANGE boundary test shaves two more
+// threads per iteration, producing mild but persistent divergence.
+//
+// Params: %param0=wall %param1=prevRow %param2=out %param3=iterations
+// %param4=cols. Block: 256 threads, 1KB shared (prev tile).
+const pathfinderSrc = `
+.kernel pathfinder
+.shared 1024
+	mov  r0, %tid.x
+	mov  r1, %ctaid.x
+	mov  r2, %ntid.x
+	mad  r3, r1, r2, r0        // xidx = bx*B + tx
+	shl  r4, r0, 2             // shared offset of prev[tx]
+	shl  r7, r3, 2
+	add  r7, r7, %param1
+	ld.global r8, [r7]         // prevRow[xidx]
+	st.shared [r4], r8
+	mov  r5, 0                 // i = 0
+	mov  r19, 0                // computed flag
+	bar.sync
+Lit:
+	add  r9, r5, 1
+	setp.ge p0, r0, r9         // tx >= i+1
+@!p0	bra Lskip
+	sub  r10, r2, r5
+	sub  r10, r10, 2
+	setp.le p1, r0, r10        // tx <= B-i-2
+@!p1	bra Lskip
+	sub  r11, r4, 4
+	ld.shared r12, [r11]       // left
+	ld.shared r13, [r4]        // up
+	add  r14, r4, 4
+	ld.shared r15, [r14]       // right
+	min  r12, r12, r13
+	min  r12, r12, r15         // shortest
+	mad  r16, r5, %param4, r3  // wall index = cols*i + xidx
+	shl  r16, r16, 2
+	add  r16, r16, %param0
+	ld.global r17, [r16]
+	add  r18, r12, r17         // new value
+	mov  r19, 1
+Lskip:
+	bar.sync
+	setp.eq p2, r19, 1
+@p2	st.shared [r4], r18
+	bar.sync
+	mov  r19, 0
+	add  r5, r5, 1
+	setp.lt p3, r5, %param3
+@p3	bra Lit
+	ld.shared r20, [r4]
+	shl  r21, r3, 2
+	add  r21, r21, %param2
+	st.global [r21], r20
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "pathfinder",
+		Suite:       "rodinia",
+		Description: "grid DP shortest path (paper Fig 4); 0..9 input range, tile-boundary divergence",
+		Build:       buildPathfinder,
+	})
+}
+
+func buildPathfinder(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 60, 120)
+	iters := s.pick(4, 16, 24)
+	cols := ctas * block
+
+	r := rng(0x9a7f)
+	wall := make([]int32, cols*iters)
+	for i := range wall {
+		wall[i] = int32(r.Intn(10)) // the original's 0..9 range
+	}
+	prev := make([]int32, cols)
+	for i := range prev {
+		prev[i] = int32(r.Intn(10))
+	}
+
+	wallAddr, err := allocInt32(m, wall)
+	if err != nil {
+		return nil, err
+	}
+	prevAddr, err := allocInt32(m, prev)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * cols)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference: mirror the kernel's per-tile DP exactly.
+	want := make([]int32, cols)
+	copy(want, prev)
+	for bx := 0; bx < ctas; bx++ {
+		tile := want[bx*block : (bx+1)*block]
+		cur := make([]int32, block)
+		for i := 0; i < iters; i++ {
+			copy(cur, tile)
+			for tx := i + 1; tx <= block-i-2; tx++ {
+				shortest := min3(tile[tx-1], tile[tx], tile[tx+1])
+				cur[tx] = shortest + wall[cols*i+bx*block+tx]
+			}
+			copy(tile, cur)
+		}
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("pathfinder", pathfinderSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{wallAddr, prevAddr, outAddr, uint32(iters), uint32(cols)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "pathfinder.out")
+		},
+	}, nil
+}
+
+func min3(a, b, c int32) int32 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

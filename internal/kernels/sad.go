@@ -1,0 +1,113 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// sad is Parboil's motion-estimation kernel: each thread accumulates the sum
+// of absolute differences between a 16-pixel current block and the reference
+// block at its candidate offset. Uniform 16-iteration loops over 8-bit pixel
+// data — abs-difference results live in a very narrow range, prime <4,1>
+// material.
+//
+// Params: %param0=cur %param1=ref %param2=out %param3=offset(words).
+const sadSrc = `
+.kernel sad
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // block index
+	shl  r2, r1, 4                   // first pixel of the current block
+	mov  r3, 0                       // acc
+	mov  r4, 0                       // i
+Lpix:
+	add  r5, r2, r4                  // cur pixel index
+	shl  r6, r5, 2
+	add  r6, r6, %param0
+	ld.global r7, [r6]               // cur pixel
+	add  r8, r5, %param3             // ref pixel index (shifted block)
+	shl  r9, r8, 2
+	add  r9, r9, %param1
+	ld.global r10, [r9]              // ref pixel
+	sub  r11, r7, r10
+	abs  r11, r11                    // |cur - ref|
+	add  r3, r3, r11
+	add  r4, r4, 1
+	setp.lt p0, r4, 16
+@p0	bra Lpix
+	shl  r12, r1, 2
+	add  r12, r12, %param2
+	st.global [r12], r3
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "sad",
+		Suite:       "parboil",
+		Description: "sum of absolute differences over 16-pixel blocks; uniform loops, narrow 8-bit data",
+		Build:       buildSAD,
+	})
+}
+
+func buildSAD(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	const blockPixels = 16
+	ctas := s.pick(4, 64, 128)
+	blocks := ctas * block
+	offset := 7 // candidate motion vector, in pixels
+
+	r := rng(0x5ad)
+	pixels := blocks*blockPixels + offset
+	cur := make([]int32, pixels)
+	ref := make([]int32, pixels)
+	for i := range cur {
+		cur[i] = int32(r.Intn(256))
+		// The reference frame is the current frame plus small noise, as
+		// between consecutive video frames.
+		ref[i] = cur[i] + int32(r.Intn(17)-8)
+		if ref[i] < 0 {
+			ref[i] = 0
+		}
+		if ref[i] > 255 {
+			ref[i] = 255
+		}
+	}
+
+	want := make([]int32, blocks)
+	for b := 0; b < blocks; b++ {
+		var acc int32
+		for i := 0; i < blockPixels; i++ {
+			d := cur[b*blockPixels+i] - ref[b*blockPixels+i+offset]
+			if d < 0 {
+				d = -d
+			}
+			acc += d
+		}
+		want[b] = acc
+	}
+
+	curAddr, err := allocInt32(m, cur)
+	if err != nil {
+		return nil, err
+	}
+	refAddr, err := allocInt32(m, ref)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * blocks)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("sad", sadSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{curAddr, refAddr, outAddr, uint32(offset)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "sad.out")
+		},
+	}, nil
+}

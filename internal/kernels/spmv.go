@@ -1,0 +1,121 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// spmv is Parboil's CSR sparse matrix-vector product: one thread per row,
+// each looping over that row's nonzeros. Row lengths vary, so warps diverge
+// on loop trip count — the paper lists spmv among the benchmarks that lose
+// some compression opportunity during divergence.
+//
+// Params: %param0=rowptr %param1=colidx %param2=values %param3=x %param4=y.
+const spmvSrc = `
+.kernel spmv
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // row
+	shl  r2, r1, 2
+	add  r3, r2, %param0
+	ld.global r4, [r3]               // rowptr[row]
+	ld.global r5, [r3+4]             // rowptr[row+1]
+	mov  r6, 0                       // acc = 0.0f
+	setp.ge p0, r4, r5
+@p0	bra Lstore
+Lnz:
+	shl  r7, r4, 2
+	add  r8, r7, %param1
+	ld.global r9, [r8]               // col
+	add  r10, r7, %param2
+	ld.global r11, [r10]             // A value
+	shl  r12, r9, 2
+	add  r12, r12, %param3
+	ld.global r13, [r12]             // x[col]
+	fma  r6, r11, r13, r6            // acc += A*x
+	add  r4, r4, 1
+	setp.lt p1, r4, r5
+@p1	bra Lnz
+Lstore:
+	add  r14, r2, %param4
+	st.global [r14], r6
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "spmv",
+		Suite:       "parboil",
+		Description: "CSR sparse matrix-vector product; row-length divergence",
+		Build:       buildSpMV,
+	})
+}
+
+func buildSpMV(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 64, 128)
+	rows := ctas * block
+
+	r := rng(0x59e7)
+	rowptr := make([]int32, rows+1)
+	var colidx []int32
+	var values []float32
+	for row := 0; row < rows; row++ {
+		rowptr[row] = int32(len(colidx))
+		nnz := 6 + r.Intn(7) // 6..12 nonzeros: divergent loop tails
+		for k := 0; k < nnz; k++ {
+			colidx = append(colidx, int32(r.Intn(rows)))
+			values = append(values, float32(r.Intn(16))*0.125) // narrow range
+		}
+	}
+	rowptr[rows] = int32(len(colidx))
+
+	x := make([]float32, rows)
+	for i := range x {
+		x[i] = float32(r.Intn(8)) * 0.25
+	}
+
+	want := make([]float32, rows)
+	for row := 0; row < rows; row++ {
+		var acc float32
+		for e := rowptr[row]; e < rowptr[row+1]; e++ {
+			acc = float32(values[e]*x[colidx[e]]) + acc
+		}
+		want[row] = acc
+	}
+
+	rowAddr, err := allocInt32(m, rowptr)
+	if err != nil {
+		return nil, err
+	}
+	if len(colidx) == 0 {
+		colidx, values = []int32{0}, []float32{0}
+	}
+	colAddr, err := allocInt32(m, colidx)
+	if err != nil {
+		return nil, err
+	}
+	valAddr, err := allocFloat32(m, values)
+	if err != nil {
+		return nil, err
+	}
+	xAddr, err := allocFloat32(m, x)
+	if err != nil {
+		return nil, err
+	}
+	yAddr, err := m.Alloc(4 * rows)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("spmv", spmvSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{rowAddr, colAddr, valAddr, xAddr, yAddr},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, yAddr, want, "spmv.y")
+		},
+	}, nil
+}

@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// srad is Rodinia's speckle-reducing anisotropic diffusion coefficient
+// kernel: per-pixel neighbour gradients (clamped at image borders), a
+// normalized gradient magnitude and a rational diffusion coefficient.
+// Border threads diverge on four clamp predicates; interior register values
+// track smooth image statistics.
+//
+// Params: %param0=image %param1=coeff %param2=width %param3=height.
+const sradSrc = `
+.kernel srad
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // pixel
+	div  r2, r1, %param2             // y
+	rem  r3, r1, %param2             // x
+	shl  r4, r1, 2
+	add  r5, r4, %param0
+	ld.global r6, [r5]               // J = image[p]
+
+	mov  r7, r6                      // N
+	setp.eq p0, r2, 0
+@p0	bra Ls
+	sub  r8, r1, %param2
+	shl  r8, r8, 2
+	add  r8, r8, %param0
+	ld.global r7, [r8]
+Ls:
+	mov  r9, r6                      // S
+	add  r10, r2, 1
+	setp.ge p1, r10, %param3
+@p1	bra Lw
+	add  r11, r1, %param2
+	shl  r11, r11, 2
+	add  r11, r11, %param0
+	ld.global r9, [r11]
+Lw:
+	mov  r12, r6                     // W
+	setp.eq p2, r3, 0
+@p2	bra Le
+	ld.global r12, [r5-4]
+Le:
+	mov  r13, r6                     // E
+	add  r14, r3, 1
+	setp.ge p3, r14, %param2
+@p3	bra Lmath
+	ld.global r13, [r5+4]
+Lmath:
+	fsub r7, r7, r6                  // dN
+	fsub r9, r9, r6                  // dS
+	fsub r12, r12, r6                // dW
+	fsub r13, r13, r6                // dE
+	fmul r15, r7, r7
+	fma  r15, r9, r9, r15
+	fma  r15, r12, r12, r15
+	fma  r15, r13, r13, r15          // G2 = sum of squared gradients
+	fmul r16, r6, r6
+	fadd r16, r16, 0.001             // J^2 + eps
+	frcp r16, r16
+	fmul r17, r15, r16               // normalized gradient magnitude
+	fadd r18, r17, 1.0
+	frcp r18, r18                    // c = 1 / (1 + q)
+	add  r19, r4, %param1
+	st.global [r19], r18
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "srad",
+		Suite:       "rodinia",
+		Description: "speckle-reducing diffusion coefficients; border-clamp divergence, smooth image values",
+		Build:       buildSRAD,
+	})
+}
+
+func buildSRAD(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	width := s.pick(64, 128, 256)
+	height := s.pick(8, 320, 512)
+	cells := width * height
+	ctas := cells / block
+
+	r := rng(0x52ad)
+	img := make([]float32, cells)
+	for i := range img {
+		img[i] = 0.5 + float32(r.Intn(100))*0.005 // 0.5 .. 1.0: smooth speckle
+	}
+
+	want := make([]float32, cells)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			i := y*width + x
+			j := img[i]
+			n, sv, w, e := j, j, j, j
+			if y > 0 {
+				n = img[i-width]
+			}
+			if y+1 < height {
+				sv = img[i+width]
+			}
+			if x > 0 {
+				w = img[i-1]
+			}
+			if x+1 < width {
+				e = img[i+1]
+			}
+			dn, ds, dw, de := n-j, sv-j, w-j, e-j
+			g2 := float32(dn * dn)
+			g2 = float32(ds*ds) + g2
+			g2 = float32(dw*dw) + g2
+			g2 = float32(de*de) + g2
+			den := float32(j * j)
+			den = den + 0.001
+			den = 1 / den
+			q := float32(g2 * den)
+			c := q + 1.0
+			want[i] = 1 / c
+		}
+	}
+
+	imgAddr, err := allocFloat32(m, img)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * cells)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("srad", sradSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{imgAddr, outAddr, uint32(width), uint32(height)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "srad.coeff")
+		},
+	}, nil
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// stencil is Parboil's Jacobi stencil, reduced from 7-point/3-D to
+// 5-point/2-D: interior threads combine four neighbours and the centre with
+// fixed coefficients; edge threads just copy through (one guarded branch).
+// Addresses are thread-index affine — the textbook compressible pattern.
+//
+// Params: %param0=in %param1=out %param2=width %param3=height.
+const stencilSrc = `
+.kernel stencil
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // cell
+	div  r2, r1, %param2             // y
+	rem  r3, r1, %param2             // x
+	shl  r4, r1, 2
+	add  r5, r4, %param0
+	ld.global r6, [r5]               // centre
+
+	// Interior test: 0 < x < w-1 && 0 < y < h-1.
+	setp.eq p0, r3, 0
+@p0	bra Lcopy
+	add  r7, r3, 1
+	setp.ge p1, r7, %param2
+@p1	bra Lcopy
+	setp.eq p2, r2, 0
+@p2	bra Lcopy
+	add  r8, r2, 1
+	setp.ge p3, r8, %param3
+@p3	bra Lcopy
+
+	sub  r9, r1, %param2
+	shl  r9, r9, 2
+	add  r9, r9, %param0
+	ld.global r10, [r9]              // north
+	add  r11, r1, %param2
+	shl  r11, r11, 2
+	add  r11, r11, %param0
+	ld.global r12, [r11]             // south
+	ld.global r13, [r5-4]            // west
+	ld.global r14, [r5+4]            // east
+	fadd r15, r10, r12
+	fadd r15, r15, r13
+	fadd r15, r15, r14
+	fmul r15, r15, 0.2               // c1 * neighbours
+	fma  r15, r6, 0.2, r15           // + c0 * centre
+	mov  r6, r15
+Lcopy:
+	add  r16, r4, %param1
+	st.global [r16], r6
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "stencil",
+		Suite:       "parboil",
+		Description: "5-point Jacobi stencil; affine addressing, edge-only divergence",
+		Build:       buildStencil,
+	})
+}
+
+func buildStencil(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	width := s.pick(64, 128, 256)
+	height := s.pick(8, 320, 512)
+	cells := width * height
+	ctas := cells / block
+
+	r := rng(0x57e)
+	in := make([]float32, cells)
+	for i := range in {
+		in[i] = float32(r.Intn(100)) * 0.01
+	}
+
+	want := make([]float32, cells)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			i := y*width + x
+			if x == 0 || x == width-1 || y == 0 || y == height-1 {
+				want[i] = in[i]
+				continue
+			}
+			sum := float32(in[i-width] + in[i+width])
+			sum = sum + in[i-1]
+			sum = sum + in[i+1]
+			sum = float32(sum * 0.2)
+			sum = float32(in[i]*0.2) + sum
+			want[i] = sum
+		}
+	}
+
+	inAddr, err := allocFloat32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * cells)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("stencil", stencilSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{inAddr, outAddr, uint32(width), uint32(height)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkFloat32(m, outAddr, want, "stencil.out")
+		},
+	}, nil
+}

@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// sto distills GPGPU-Sim's StoreGPU hashing kernel: every thread whitens its
+// input word through a fixed number of xorshift-multiply rounds with
+// warp-uniform round constants. Zero divergence; register contents mix
+// uniform constants with near-random hash state (like aes, but pure ALU —
+// no table lookups).
+//
+// Params: %param0=in %param1=out %param2=constants %param3=rounds.
+const stoSrc = `
+.kernel sto
+	mov  r0, %tid.x
+	mad  r1, %ctaid.x, %ntid.x, r0   // word index
+	shl  r2, r1, 2
+	add  r3, r2, %param0
+	ld.global r4, [r3]               // h = in[i]
+	mov  r5, 0                       // round
+Lround:
+	shl  r6, r5, 2
+	add  r6, r6, %param2
+	ld.global r7, [r6]               // round constant (uniform)
+	shr  r8, r4, 13
+	xor  r4, r4, r8                  // h ^= h >> 13
+	mul  r4, r4, r7                  // h *= k
+	shl  r9, r4, 7
+	xor  r4, r4, r9                  // h ^= h << 7
+	add  r5, r5, 1
+	setp.lt p0, r5, %param3
+@p0	bra Lround
+	add  r10, r2, %param1
+	st.global [r10], r4
+	exit
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "sto",
+		Suite:       "gpgpu-sim",
+		Description: "StoreGPU-style hashing rounds; uniform constants over random state, no divergence",
+		Build:       buildSTO,
+	})
+}
+
+func buildSTO(m *mem.Global, s Scale) (*Instance, error) {
+	const block = 256
+	ctas := s.pick(4, 64, 128)
+	rounds := s.pick(6, 20, 32)
+	n := ctas * block
+
+	r := rng(0x570)
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(r.Uint32())
+	}
+	consts := make([]int32, rounds)
+	for i := range consts {
+		consts[i] = int32(r.Uint32() | 1) // odd multipliers
+	}
+
+	want := make([]int32, n)
+	for i, v := range in {
+		h := uint32(v)
+		for rd := 0; rd < rounds; rd++ {
+			h ^= h >> 13
+			h *= uint32(consts[rd])
+			h ^= h << 7
+		}
+		want[i] = int32(h)
+	}
+
+	inAddr, err := allocInt32(m, in)
+	if err != nil {
+		return nil, err
+	}
+	outAddr, err := m.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	kAddr, err := allocInt32(m, consts)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel("sto", stoSrc),
+			Grid:   isa.Dim3{X: ctas},
+			Block:  isa.Dim3{X: block},
+			Params: [isa.NumParams]uint32{inAddr, outAddr, kAddr, uint32(rounds)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, outAddr, want, "sto.hash")
+		},
+	}, nil
+}

@@ -1,0 +1,88 @@
+package mem
+
+// Cache is a per-SM L1 data cache model (tags only — data values are kept
+// functionally in Global). Set-associative with LRU replacement and
+// 128-byte lines matching the coalescing segment size, like the Fermi L1
+// the paper's GPGPU-Sim baseline configures.
+type Cache struct {
+	sets  int
+	ways  int
+	tags  [][]uint32 // [set][way], tag = segment index / sets
+	valid [][]bool
+	lru   [][]uint64 // last-use stamps
+	tick  uint64
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity; line
+// size is SegmentBytes. sizeBytes must be a positive multiple of
+// ways*SegmentBytes.
+func NewCache(sizeBytes, ways int) *Cache {
+	if ways < 1 || sizeBytes < ways*SegmentBytes || sizeBytes%(ways*SegmentBytes) != 0 {
+		panic("mem: invalid cache geometry")
+	}
+	sets := sizeBytes / (ways * SegmentBytes)
+	c := &Cache{sets: sets, ways: ways}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint32, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Access looks up the 128-byte segment containing addr, fills it on a miss,
+// and reports whether it hit.
+func (c *Cache) Access(segment uint32) bool {
+	c.tick++
+	set := int(segment) % c.sets
+	tag := segment / uint32(c.sets)
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.tick
+			c.hits++
+			return true
+		}
+		if !c.valid[set][w] {
+			victim, oldest = w, 0
+		} else if c.lru[set][w] < oldest {
+			victim, oldest = w, c.lru[set][w]
+		}
+	}
+	c.misses++
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.tick
+	return false
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// CoalesceSegmentList writes the distinct 128-byte segment indices touched
+// by the active lanes into buf (capacity 32 suffices) and returns the slice.
+func CoalesceSegmentList(addrs *[32]uint32, mask uint32, buf []uint32) []uint32 {
+	buf = buf[:0]
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		seg := addrs[lane] / SegmentBytes
+		dup := false
+		for _, s := range buf {
+			if s == seg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, seg)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,239 @@
+// Package mem provides the GPU memory substrate: functional global memory
+// with a bump allocator for host data, warp-level access coalescing, shared
+// memory bank-conflict analysis, and a simple latency/bandwidth pipe for
+// timing global transactions.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// SegmentBytes is the memory transaction granularity; a warp access is
+// coalesced into 128-byte segments as on Fermi-class hardware.
+const SegmentBytes = 128
+
+// Global is the device global memory: a flat byte-addressable array plus a
+// bump allocator so benchmarks can place their inputs.
+type Global struct {
+	data []byte
+	brk  uint32
+}
+
+// NewGlobal allocates a device memory of `size` bytes (word aligned).
+func NewGlobal(size int) *Global {
+	if size <= 0 || size%4 != 0 {
+		panic("mem: global size must be a positive multiple of 4")
+	}
+	return &Global{data: make([]byte, size)}
+}
+
+// Size returns the device memory capacity in bytes.
+func (g *Global) Size() int { return len(g.data) }
+
+// Alloc reserves n bytes (rounded up to 128-byte alignment for clean
+// coalescing) and returns the device address.
+func (g *Global) Alloc(n int) (uint32, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("mem: negative allocation")
+	}
+	aligned := (uint32(n) + SegmentBytes - 1) &^ (SegmentBytes - 1)
+	if int(g.brk)+int(aligned) > len(g.data) {
+		return 0, fmt.Errorf("mem: out of device memory (%d requested, %d free)", n, len(g.data)-int(g.brk))
+	}
+	addr := g.brk
+	g.brk += aligned
+	return addr, nil
+}
+
+// Load32 reads a 32-bit word; addr must be 4-byte aligned and in bounds.
+func (g *Global) Load32(addr uint32) (uint32, error) {
+	if err := g.check(addr); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(g.data[addr:]), nil
+}
+
+// Store32 writes a 32-bit word.
+func (g *Global) Store32(addr, v uint32) error {
+	if err := g.check(addr); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(g.data[addr:], v)
+	return nil
+}
+
+func (g *Global) check(addr uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("mem: unaligned access at 0x%x", addr)
+	}
+	if int(addr)+4 > len(g.data) {
+		return fmt.Errorf("mem: access at 0x%x beyond device memory (%d bytes)", addr, len(g.data))
+	}
+	return nil
+}
+
+// WriteInt32 copies host int32 data to device address addr.
+func (g *Global) WriteInt32(addr uint32, vals []int32) error {
+	for i, v := range vals {
+		if err := g.Store32(addr+uint32(4*i), uint32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadInt32 copies n int32 words from device address addr to the host.
+func (g *Global) ReadInt32(addr uint32, n int) ([]int32, error) {
+	out := make([]int32, n)
+	for i := range out {
+		v, err := g.Load32(addr + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}
+
+// WriteFloat32 copies host float32 data to device address addr.
+func (g *Global) WriteFloat32(addr uint32, vals []float32) error {
+	for i, v := range vals {
+		if err := g.Store32(addr+uint32(4*i), math.Float32bits(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFloat32 copies n float32 words from device address addr to the host.
+func (g *Global) ReadFloat32(addr uint32, n int) ([]float32, error) {
+	out := make([]float32, n)
+	for i := range out {
+		v, err := g.Load32(addr + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = math.Float32frombits(v)
+	}
+	return out, nil
+}
+
+// CoalesceSegments counts the distinct 128-byte segments the active lanes of
+// a warp touch — the number of memory transactions the access generates.
+func CoalesceSegments(addrs *[isa.WarpSize]uint32, mask uint32) int {
+	var segs [isa.WarpSize]uint32
+	n := 0
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		seg := addrs[lane] / SegmentBytes
+		dup := false
+		for _, s := range segs[:n] {
+			if s == seg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			segs[n] = seg
+			n++
+		}
+	}
+	return n
+}
+
+// SharedConflictDegree returns the maximum number of distinct words mapped
+// to one shared-memory bank by the active lanes — the number of serialized
+// access phases (32 word-interleaved banks; broadcasts of the same word are
+// conflict-free).
+func SharedConflictDegree(addrs *[isa.WarpSize]uint32, mask uint32) int {
+	var banks [32][]uint32
+	degree := 0
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		word := addrs[lane] / 4
+		b := word % 32
+		dup := false
+		for _, w := range banks[b] {
+			if w == word {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			banks[b] = append(banks[b], word)
+			if len(banks[b]) > degree {
+				degree = len(banks[b])
+			}
+		}
+	}
+	if degree == 0 {
+		return 1
+	}
+	return degree
+}
+
+// Pipe is the global-memory timing model: transactions issue at one per
+// cycle, each completes after Latency cycles, and at most MaxInflight may be
+// outstanding.
+type Pipe struct {
+	Latency     int
+	MaxInflight int
+
+	inflight []uint64 // completion cycles of outstanding transactions
+	nextFree uint64   // next cycle the issue port is free
+	txns     uint64
+}
+
+// NewPipe builds a memory pipe.
+func NewPipe(latency, maxInflight int) *Pipe {
+	if latency < 1 || maxInflight < 1 {
+		panic("mem: pipe needs latency >= 1 and capacity >= 1")
+	}
+	return &Pipe{Latency: latency, MaxInflight: maxInflight}
+}
+
+// TryIssue attempts to issue `txns` transactions at cycle now; on success it
+// returns the cycle the last transaction's data is available.
+func (p *Pipe) TryIssue(now uint64, txns int) (ready uint64, ok bool) {
+	if txns <= 0 {
+		return now, true
+	}
+	p.reap(now)
+	if len(p.inflight)+txns > p.MaxInflight {
+		return 0, false
+	}
+	start := now
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	last := start + uint64(txns-1)
+	p.nextFree = last + 1
+	ready = last + uint64(p.Latency)
+	for i := 0; i < txns; i++ {
+		p.inflight = append(p.inflight, start+uint64(i)+uint64(p.Latency))
+	}
+	p.txns += uint64(txns)
+	return ready, true
+}
+
+// Transactions returns the total transactions issued.
+func (p *Pipe) Transactions() uint64 { return p.txns }
+
+// reap drops completed transactions.
+func (p *Pipe) reap(now uint64) {
+	out := p.inflight[:0]
+	for _, c := range p.inflight {
+		if c > now {
+			out = append(out, c)
+		}
+	}
+	p.inflight = out
+}

@@ -1,0 +1,227 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestGlobalLoadStore(t *testing.T) {
+	g := NewGlobal(4096)
+	if err := g.Store32(102, 0xDEADBEEF); err == nil {
+		t.Fatal("unaligned store accepted")
+	}
+	if err := g.Store32(104, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.Load32(104)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("load %x %v", v, err)
+	}
+	if _, err := g.Load32(4096); err == nil {
+		t.Fatal("out-of-bounds load accepted")
+	}
+	if _, err := g.Load32(4094); err == nil {
+		t.Fatal("straddling load accepted")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	g := NewGlobal(1 << 16)
+	a1, err := g.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := g.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1%SegmentBytes != 0 || a2%SegmentBytes != 0 {
+		t.Fatalf("allocations not segment aligned: %d %d", a1, a2)
+	}
+	if a2 != a1+SegmentBytes {
+		t.Fatalf("10-byte alloc should consume one segment, got %d -> %d", a1, a2)
+	}
+	if _, err := g.Alloc(1 << 20); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	if _, err := g.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestHostTransfers(t *testing.T) {
+	g := NewGlobal(4096)
+	ints := []int32{1, -2, 3}
+	if err := g.WriteInt32(0, ints); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ReadInt32(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ints {
+		if got[i] != ints[i] {
+			t.Fatalf("int roundtrip: %v", got)
+		}
+	}
+	fl := []float32{1.5, -0.25, 3e9}
+	if err := g.WriteFloat32(128, fl); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := g.ReadFloat32(128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fl {
+		if gf[i] != fl[i] {
+			t.Fatalf("float roundtrip: %v", gf)
+		}
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	var addrs [isa.WarpSize]uint32
+	// Perfectly coalesced: 32 consecutive words = one 128B segment.
+	for i := range addrs {
+		addrs[i] = uint32(4 * i)
+	}
+	if n := CoalesceSegments(&addrs, 0xFFFFFFFF); n != 1 {
+		t.Fatalf("consecutive: %d segments, want 1", n)
+	}
+	// Stride-128: every lane its own segment.
+	for i := range addrs {
+		addrs[i] = uint32(128 * i)
+	}
+	if n := CoalesceSegments(&addrs, 0xFFFFFFFF); n != 32 {
+		t.Fatalf("stride-128: %d segments, want 32", n)
+	}
+	// Mask limits the count.
+	if n := CoalesceSegments(&addrs, 0x3); n != 2 {
+		t.Fatalf("masked: %d segments, want 2", n)
+	}
+	// Broadcast: one segment.
+	for i := range addrs {
+		addrs[i] = 512
+	}
+	if n := CoalesceSegments(&addrs, 0xFFFFFFFF); n != 1 {
+		t.Fatalf("broadcast: %d segments, want 1", n)
+	}
+	// Inactive warp: zero transactions.
+	if n := CoalesceSegments(&addrs, 0); n != 0 {
+		t.Fatalf("empty mask: %d segments, want 0", n)
+	}
+}
+
+// TestCoalesceListAgreesWithCount: the segment list and the counter must
+// agree for random address patterns.
+func TestCoalesceListAgreesWithCount(t *testing.T) {
+	f := func(addrs [isa.WarpSize]uint32, mask uint32) bool {
+		n := CoalesceSegments(&addrs, mask)
+		list := CoalesceSegmentList(&addrs, mask, nil)
+		return n == len(list)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedConflicts(t *testing.T) {
+	var addrs [isa.WarpSize]uint32
+	// Consecutive words: conflict-free (degree 1).
+	for i := range addrs {
+		addrs[i] = uint32(4 * i)
+	}
+	if d := SharedConflictDegree(&addrs, 0xFFFFFFFF); d != 1 {
+		t.Fatalf("consecutive: degree %d, want 1", d)
+	}
+	// Stride-32 words: all lanes hit bank 0 -> 32-way conflict.
+	for i := range addrs {
+		addrs[i] = uint32(4 * 32 * i)
+	}
+	if d := SharedConflictDegree(&addrs, 0xFFFFFFFF); d != 32 {
+		t.Fatalf("stride-32: degree %d, want 32", d)
+	}
+	// Broadcast of one word: degree 1.
+	for i := range addrs {
+		addrs[i] = 64
+	}
+	if d := SharedConflictDegree(&addrs, 0xFFFFFFFF); d != 1 {
+		t.Fatalf("broadcast: degree %d, want 1", d)
+	}
+	if d := SharedConflictDegree(&addrs, 0); d != 1 {
+		t.Fatalf("empty mask: degree %d, want 1", d)
+	}
+}
+
+func TestPipeLatencyAndBandwidth(t *testing.T) {
+	p := NewPipe(100, 8)
+	// One transaction at cycle 10: data at 110.
+	r, ok := p.TryIssue(10, 1)
+	if !ok || r != 110 {
+		t.Fatalf("single txn ready at %d", r)
+	}
+	// Four more issue back to back (1/cycle): last at cycle 14 -> 114.
+	r, ok = p.TryIssue(10, 4)
+	if !ok || r != 114 {
+		t.Fatalf("burst ready at %d, want 114", r)
+	}
+	// Capacity: 5 in flight, 4 more would exceed 8.
+	if _, ok := p.TryIssue(10, 4); ok {
+		t.Fatal("capacity exceeded but accepted")
+	}
+	// Three fit exactly.
+	if _, ok := p.TryIssue(10, 3); !ok {
+		t.Fatal("exact fit rejected")
+	}
+	// After completion the pipe drains.
+	if _, ok := p.TryIssue(300, 8); !ok {
+		t.Fatal("drained pipe rejected issue")
+	}
+	if p.Transactions() != 16 {
+		t.Fatalf("transactions %d, want 16", p.Transactions())
+	}
+}
+
+func TestPipeZeroTxns(t *testing.T) {
+	p := NewPipe(100, 4)
+	r, ok := p.TryIssue(42, 0)
+	if !ok || r != 42 {
+		t.Fatal("zero transactions should complete immediately")
+	}
+}
+
+func TestCacheBasic(t *testing.T) {
+	c := NewCache(2*SegmentBytes*2, 2) // 2 sets x 2 ways
+	if c.Access(0) {
+		t.Fatal("cold miss reported as hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access should hit")
+	}
+	// Fill set 0 beyond associativity: segments 0, 2, 4 map to set 0.
+	c.Access(2)
+	c.Access(4) // evicts LRU (segment 0)
+	if c.Access(0) {
+		t.Fatal("evicted line reported as hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("stats %d/%d, want 1/4", hits, misses)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(SegmentBytes*2, 2) // 1 set x 2 ways
+	c.Access(10)
+	c.Access(20)
+	c.Access(10) // refresh 10; 20 becomes LRU
+	c.Access(30) // evicts 20
+	if !c.Access(10) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Access(20) {
+		t.Fatal("LRU line survived")
+	}
+}

@@ -1,0 +1,88 @@
+// Package sched implements the warp scheduling policies of the paper's
+// evaluation: Greedy-Then-Oldest (GTO, the Table 2 default) and Loose
+// Round-Robin (LRR, the §6.5 sensitivity study).
+package sched
+
+// Candidate is a warp that could issue this cycle.
+type Candidate struct {
+	Slot int    // hardware warp slot id
+	Age  uint64 // launch order stamp; smaller = older
+}
+
+// Policy picks the next warp among ready candidates. One Policy instance
+// serves one scheduler (an SM has two, each owning half the warp slots), so
+// implementations may keep per-scheduler state.
+type Policy interface {
+	Name() string
+	// Pick returns the slot to issue from cands (non-empty) this cycle.
+	Pick(cands []Candidate) int
+	// Reset clears scheduler state between kernel launches.
+	Reset()
+}
+
+// NewPolicy builds a policy by name ("gto" or "lrr").
+func NewPolicy(name string, maxSlots int) Policy {
+	switch name {
+	case "lrr":
+		return &LRR{maxSlots: maxSlots}
+	default:
+		return &GTO{}
+	}
+}
+
+// GTO is Greedy-Then-Oldest: keep issuing from the same warp until it
+// stalls, then switch to the oldest ready warp (paper §6.5).
+type GTO struct {
+	last    int
+	hasLast bool
+}
+
+func (g *GTO) Name() string { return "gto" }
+
+func (g *GTO) Pick(cands []Candidate) int {
+	if g.hasLast {
+		for _, c := range cands {
+			if c.Slot == g.last {
+				return c.Slot
+			}
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Age < best.Age || (c.Age == best.Age && c.Slot < best.Slot) {
+			best = c
+		}
+	}
+	g.last, g.hasLast = best.Slot, true
+	return best.Slot
+}
+
+func (g *GTO) Reset() { g.hasLast = false }
+
+// LRR is Loose Round-Robin: switch warps every scheduling cycle, in circular
+// slot order, as long as another ready warp is waiting (paper §6.5).
+type LRR struct {
+	maxSlots int
+	next     int // first slot to consider this cycle
+}
+
+func (l *LRR) Name() string { return "lrr" }
+
+func (l *LRR) Pick(cands []Candidate) int {
+	if l.maxSlots <= 0 {
+		return cands[0].Slot
+	}
+	// Choose the ready slot closest at-or-after the rotation pointer.
+	bestDist := l.maxSlots + 1
+	best := cands[0].Slot
+	for _, c := range cands {
+		d := (c.Slot - l.next + l.maxSlots) % l.maxSlots
+		if d < bestDist {
+			bestDist, best = d, c.Slot
+		}
+	}
+	l.next = (best + 1) % l.maxSlots
+	return best
+}
+
+func (l *LRR) Reset() { l.next = 0 }

@@ -1,0 +1,98 @@
+package sched
+
+import "testing"
+
+func cands(slots ...int) []Candidate {
+	out := make([]Candidate, len(slots))
+	for i, s := range slots {
+		out[i] = Candidate{Slot: s, Age: uint64(100 + s)}
+	}
+	return out
+}
+
+func TestGTOGreedy(t *testing.T) {
+	g := NewPolicy("gto", 48)
+	// First pick: oldest (lowest age = lowest slot here).
+	if got := g.Pick(cands(4, 2, 8)); got != 2 {
+		t.Fatalf("first pick %d, want oldest (2)", got)
+	}
+	// Greedy: stick with 2 while it stays ready.
+	if got := g.Pick(cands(8, 2)); got != 2 {
+		t.Fatalf("greedy pick %d, want 2", got)
+	}
+	// 2 stalls: fall back to the oldest ready.
+	if got := g.Pick(cands(8, 4)); got != 4 {
+		t.Fatalf("fallback pick %d, want 4", got)
+	}
+	// And stick with the new warp.
+	if got := g.Pick(cands(8, 4)); got != 4 {
+		t.Fatalf("greedy-after-switch %d, want 4", got)
+	}
+}
+
+func TestGTOOldestByAge(t *testing.T) {
+	g := &GTO{}
+	c := []Candidate{{Slot: 1, Age: 50}, {Slot: 0, Age: 60}}
+	if got := g.Pick(c); got != 1 {
+		t.Fatalf("pick %d, want the older warp (slot 1)", got)
+	}
+}
+
+func TestGTOReset(t *testing.T) {
+	g := &GTO{}
+	g.Pick(cands(5))
+	g.Reset()
+	if got := g.Pick(cands(3, 5)); got != 3 {
+		t.Fatalf("after reset pick %d, want oldest (3)", got)
+	}
+}
+
+func TestLRRRotation(t *testing.T) {
+	l := NewPolicy("lrr", 8)
+	// Rotation pointer starts at 0.
+	if got := l.Pick(cands(0, 2, 4)); got != 0 {
+		t.Fatalf("pick %d, want 0", got)
+	}
+	// Pointer moved past 0: next ready in circular order is 2.
+	if got := l.Pick(cands(0, 2, 4)); got != 2 {
+		t.Fatalf("pick %d, want 2", got)
+	}
+	if got := l.Pick(cands(0, 2, 4)); got != 4 {
+		t.Fatalf("pick %d, want 4", got)
+	}
+	// Wraps around.
+	if got := l.Pick(cands(0, 2, 4)); got != 0 {
+		t.Fatalf("pick %d, want 0 after wrap", got)
+	}
+}
+
+func TestLRRSkipsStalled(t *testing.T) {
+	l := &LRR{maxSlots: 8}
+	l.Pick(cands(0)) // pointer -> 1
+	if got := l.Pick(cands(0, 6)); got != 6 {
+		t.Fatalf("pick %d, want 6 (nearest at-or-after pointer)", got)
+	}
+}
+
+func TestLRRSwitchesEveryCycle(t *testing.T) {
+	// The defining LRR property: with two ready warps it alternates.
+	l := &LRR{maxSlots: 4}
+	seq := []int{}
+	for i := 0; i < 6; i++ {
+		seq = append(seq, l.Pick(cands(1, 3)))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			t.Fatalf("LRR repeated warp %d consecutively: %v", seq[i], seq)
+		}
+	}
+}
+
+func TestNewPolicyDefault(t *testing.T) {
+	if NewPolicy("bogus", 8).Name() != "gto" {
+		t.Fatal("unknown policy should default to GTO")
+	}
+	if NewPolicy("lrr", 8).Name() != "lrr" {
+		t.Fatal("lrr lookup")
+	}
+}

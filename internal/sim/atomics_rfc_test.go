@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// TestAtomicAddHistogram: colliding atomic adds must serialize to exact
+// counts, including full-warp collisions on one bin.
+func TestAtomicAddHistogram(t *testing.T) {
+	// Every thread increments bin (tid % 4): 4 bins x 32 increments for a
+	// 128-thread CTA.
+	src := `
+	mov  r0, %tid.x
+	and  r1, r0, 3
+	shl  r1, r1, 2
+	add  r1, r1, %param0
+	atom.add r2, [r1], 1
+	exit
+`
+	c := testConfig()
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binAddr, err := g.Mem().Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := asm.Assemble("hist4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(isa.Launch{
+		Kernel: k, Grid: isa.Dim3{X: 2}, Block: isa.Dim3{X: 128},
+		Params: [isa.NumParams]uint32{binAddr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Mem().ReadInt32(binAddr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 64 {
+			t.Fatalf("bin[%d] = %d, want 64", i, v)
+		}
+	}
+}
+
+// TestAtomicReturnsOldValue: the destination register receives the
+// pre-update value in lane-serialized order.
+func TestAtomicReturnsOldValue(t *testing.T) {
+	src := `
+	mov  r0, %tid.x
+	mov  r1, %param0
+	atom.add r2, [r1], 1     // every lane bumps the same counter
+	shl  r3, r0, 2
+	add  r3, r3, %param1
+	st.global [r3], r2       // record the observed old value
+	exit
+`
+	c := testConfig()
+	g, _ := New(c)
+	ctr, _ := g.Mem().Alloc(4)
+	out, _ := g.Mem().Alloc(4 * 32)
+	k, err := asm.Assemble("ticket", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(isa.Launch{
+		Kernel: k, Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32},
+		Params: [isa.NumParams]uint32{ctr, out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.Mem().ReadInt32(out, 32)
+	for lane, v := range got {
+		if v != int32(lane) {
+			t.Fatalf("lane %d saw ticket %d, want %d (lane-order serialization)", lane, v, lane)
+		}
+	}
+	final, _ := g.Mem().ReadInt32(ctr, 1)
+	if final[0] != 32 {
+		t.Fatalf("counter = %d, want 32", final[0])
+	}
+}
+
+// TestAtomicConflictSerializes: a full-warp same-address atomic must take
+// longer than a conflict-free one.
+func TestAtomicConflictSerializes(t *testing.T) {
+	run := func(src string) uint64 {
+		c := testConfig()
+		c.NumSMs = 1
+		g, _ := New(c)
+		if _, err := g.Mem().Alloc(4096); err != nil {
+			t.Fatal(err)
+		}
+		k, err := asm.Assemble("a", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Run(isa.Launch{Kernel: k, Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	conflicting := run(`
+	mov r0, 0
+	atom.add r1, [r0], 1
+	exit
+`)
+	conflictFree := run(`
+	mov r0, %tid.x
+	shl r0, r0, 2
+	atom.add r1, [r0], 1
+	exit
+`)
+	if conflicting <= conflictFree {
+		t.Fatalf("same-address atomics should serialize: %d vs %d cycles", conflicting, conflictFree)
+	}
+}
+
+// TestRFCCorrectnessAndFiltering: with the register file cache comparator,
+// results stay identical to the baseline while most operand reads bypass
+// the banks.
+func TestRFCCorrectness(t *testing.T) {
+	run := func(rfc int) ([]int32, *Result) {
+		c := BaselineConfig()
+		c.NumSMs = 2
+		c.GlobalMemBytes = 1 << 20
+		c.RFCEntries = rfc
+		g, res, _ := runKernel(t, c, loopKernelSrc, 2, 64, nil)
+		got, err := g.Mem().ReadInt32(0, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, res
+	}
+	base, bres := run(0)
+	rfc, rres := run(6)
+	for i := range base {
+		if base[i] != rfc[i] {
+			t.Fatalf("out[%d]: baseline %d != rfc %d", i, base[i], rfc[i])
+		}
+	}
+	if rres.Stats.RFCReads == 0 || rres.Stats.RFCWrites == 0 {
+		t.Fatalf("RFC recorded no activity: %+v", rres.Stats.RFCReads)
+	}
+	if bres.Stats.RFCReads != 0 {
+		t.Fatal("baseline must not touch the RFC")
+	}
+	if rres.Stats.RF.BankReads >= bres.Stats.RF.BankReads {
+		t.Fatalf("RFC should filter bank reads: %d vs %d", rres.Stats.RF.BankReads, bres.Stats.RF.BankReads)
+	}
+	if rres.Stats.RF.BankWrites >= bres.Stats.RF.BankWrites {
+		t.Fatalf("RFC should filter bank writes: %d vs %d", rres.Stats.RF.BankWrites, bres.Stats.RF.BankWrites)
+	}
+}
+
+// TestRFCDivergentWriteAllocate: divergent partial writes through the RFC
+// must keep untouched lanes intact (write-allocate fetches them).
+func TestRFCDivergentWrites(t *testing.T) {
+	c := BaselineConfig()
+	c.NumSMs = 2
+	c.GlobalMemBytes = 1 << 20
+	c.RFCEntries = 2 // tiny cache forces evictions and re-fetches
+	g, res, _ := runKernel(t, c, divergentLoopSrc, 2, 64, nil)
+	got, err := g.Mem().ReadInt32(0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := int32(i%4+1) * 10
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+	if res.Stats.RFCEvictions == 0 {
+		t.Fatal("a 2-entry RFC on a loop kernel must evict")
+	}
+}
+
+// TestRFCExclusiveWithCompression: configuration guard.
+func TestRFCExclusiveWithCompression(t *testing.T) {
+	c := DefaultConfig()
+	c.RFCEntries = 6
+	if err := c.Validate(); err == nil {
+		t.Fatal("RFC + compression must be rejected")
+	}
+}

@@ -1,0 +1,169 @@
+// Package sim is the cycle-level SIMT GPU model: streaming multiprocessors
+// with dual warp schedulers, a scoreboard, operand collectors over the
+// banked register file, functional-unit pipelines, a coalescing global
+// memory path, SIMT-stack divergence handling and the warped-compression
+// write/read paths (compressor and decompressor units, dummy MOV injection,
+// bank power gating).
+//
+// It plays the role GPGPU-Sim plays in the paper: the timing substrate whose
+// event counts feed the energy model. Functional execution happens at issue
+// (register values and memory are architecturally updated immediately, in
+// issue order, which the scoreboard keeps dependence-correct); the timing
+// pipeline then models when banks, compressors, functional units and the
+// memory system are busy.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Config carries every microarchitectural parameter of paper Table 2 plus
+// the design-space knobs of §6.6-6.8.
+type Config struct {
+	// Core organization (Table 2).
+	NumSMs          int // 15
+	SchedulersPerSM int // 2
+	MaxWarpsPerSM   int // 48
+	MaxCTAsPerSM    int // CTAs resident per SM (8, Fermi-like)
+	Collectors      int // operand collector units per SM
+
+	// Scheduling policy: "gto" (default) or "lrr" (§6.5).
+	Scheduler string
+
+	// Warped-compression configuration.
+	Mode core.Mode
+	// DivergencePolicy selects how divergent writes interact with
+	// compressed registers (paper §5.2):
+	//   "uncompressed" (default): store divergent writes uncompressed,
+	//       injecting a dummy MOV to decompress the destination first;
+	//   "recompress": read-merge-recompress through an intermediate buffer
+	//       (the alternative the paper describes and rejects for its
+	//       buffer cost; modeled here for the ablation study).
+	DivergencePolicy  string
+	Compressors       int // 2 per SM
+	Decompressors     int // 4 per SM
+	CompressLatency   int // 2 cycles default, swept in Fig 20
+	DecompressLatency int // 1 cycle default, swept in Fig 21
+	PowerGating       bool
+	BankWakeupLatency int // 10 cycles
+	// DrowsyAfter enables the drowsy-register-file comparator: idle
+	// powered banks drop to a data-retentive low-leakage state after this
+	// many cycles (0 disables; abl5-drowsy uses 100).
+	DrowsyAfter int
+
+	// RFCEntries enables the register file cache comparator (Gebhart et
+	// al., the paper's §7 rival approach): a small per-warp, write-back,
+	// write-allocate cache of recently written warp registers between the
+	// main banks and the execution units. 0 disables it. Meant to be used
+	// with compression off; see the abl4-rfc experiment.
+	RFCEntries int
+
+	// Functional unit pipeline depths.
+	ALULatency int
+	SFULatency int
+
+	// Memory system.
+	GlobalMemBytes    int // device memory capacity
+	GlobalLatency     int // cycles to DRAM
+	GlobalMaxInflight int // outstanding transactions per SM
+	SharedLatency     int // shared memory access cycles
+	L1SizeKB          int // per-SM L1 data cache size (0 disables)
+	L1Ways            int // L1 associativity
+	L1HitLatency      int // L1 hit latency in cycles
+
+	// CharacterizeWrites enables the paper §3 value-similarity histograms
+	// (Figs 2 and 5) on every register write.
+	CharacterizeWrites bool
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns paper Table 2 with warped-compression enabled.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:          15,
+		SchedulersPerSM: 2,
+		MaxWarpsPerSM:   48,
+		MaxCTAsPerSM:    8,
+		Collectors:      8,
+
+		Scheduler: "gto",
+
+		Mode:              core.ModeWarped,
+		DivergencePolicy:  "uncompressed",
+		Compressors:       2,
+		Decompressors:     4,
+		CompressLatency:   2,
+		DecompressLatency: 1,
+		PowerGating:       true,
+		BankWakeupLatency: 10,
+
+		ALULatency: 4,
+		SFULatency: 8,
+
+		GlobalMemBytes:    64 << 20,
+		GlobalLatency:     200,
+		GlobalMaxInflight: 64,
+		SharedLatency:     24,
+		L1SizeKB:          16,
+		L1Ways:            4,
+		L1HitLatency:      30,
+
+		MaxCycles: 200_000_000,
+	}
+}
+
+// BaselineConfig is DefaultConfig with compression and gating off: the
+// paper's no-compression baseline.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.Mode = core.ModeOff
+	c.PowerGating = false
+	return c
+}
+
+// Validate rejects nonsensical parameter combinations.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs < 1:
+		return fmt.Errorf("sim: need at least one SM")
+	case c.SchedulersPerSM < 1:
+		return fmt.Errorf("sim: need at least one scheduler")
+	case c.MaxWarpsPerSM < 1 || c.MaxWarpsPerSM%c.SchedulersPerSM != 0:
+		return fmt.Errorf("sim: MaxWarpsPerSM must be a positive multiple of SchedulersPerSM")
+	case c.MaxCTAsPerSM < 1:
+		return fmt.Errorf("sim: need at least one CTA slot")
+	case c.Collectors < 1:
+		return fmt.Errorf("sim: need at least one operand collector")
+	case c.Compressors < 1 || c.Decompressors < 1:
+		return fmt.Errorf("sim: need at least one compressor and decompressor")
+	case c.CompressLatency < 0 || c.DecompressLatency < 0:
+		return fmt.Errorf("sim: negative compression latency")
+	case c.ALULatency < 1 || c.SFULatency < 1:
+		return fmt.Errorf("sim: functional unit latencies must be >= 1")
+	case c.GlobalMemBytes < 4096:
+		return fmt.Errorf("sim: device memory too small")
+	case c.GlobalLatency < 1 || c.GlobalMaxInflight < 1 || c.SharedLatency < 1:
+		return fmt.Errorf("sim: invalid memory timing")
+	case c.L1SizeKB < 0 || (c.L1SizeKB > 0 && (c.L1Ways < 1 || c.L1HitLatency < 1)):
+		return fmt.Errorf("sim: invalid L1 cache configuration")
+	case c.BankWakeupLatency < 0:
+		return fmt.Errorf("sim: negative wakeup latency")
+	case c.MaxCycles == 0:
+		return fmt.Errorf("sim: MaxCycles must be positive")
+	case c.Scheduler != "gto" && c.Scheduler != "lrr":
+		return fmt.Errorf("sim: unknown scheduler %q", c.Scheduler)
+	case c.DivergencePolicy != "" && c.DivergencePolicy != "uncompressed" && c.DivergencePolicy != "recompress":
+		return fmt.Errorf("sim: unknown divergence policy %q", c.DivergencePolicy)
+	case c.RFCEntries < 0:
+		return fmt.Errorf("sim: negative RFC size")
+	case c.DrowsyAfter < 0:
+		return fmt.Errorf("sim: negative drowsy threshold")
+	case c.RFCEntries > 0 && c.Mode.Enabled():
+		return fmt.Errorf("sim: the RFC comparator and warped-compression are mutually exclusive")
+	}
+	return nil
+}

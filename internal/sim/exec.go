@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// execResult carries the functional outcome of an issued instruction into
+// the timing pipeline.
+type execResult struct {
+	dstVals   core.WarpReg // merged destination vector (valid when writes)
+	writes    bool         // instruction produces a register write
+	addrs     [isa.WarpSize]uint32
+	segs      []uint32 // coalesced 128-byte segments (global memory ops)
+	sharedDeg int      // shared-memory conflict phases (shared ops)
+	atomDeg   int      // same-address serialization phases (atomics)
+}
+
+// special evaluates a hardware special register for one lane of a warp.
+func (s *SM) special(w *Warp, sp isa.Special, lane int) uint32 {
+	bx := s.launch.Block.X
+	if bx <= 0 {
+		bx = 1
+	}
+	gx := s.launch.Grid.X
+	if gx <= 0 {
+		gx = 1
+	}
+	t := w.warpInCTA*isa.WarpSize + lane
+	switch sp {
+	case isa.SpecTidX:
+		return uint32(t % bx)
+	case isa.SpecTidY:
+		return uint32(t / bx)
+	case isa.SpecCtaIDX:
+		return uint32(w.ctaID % gx)
+	case isa.SpecCtaIDY:
+		return uint32(w.ctaID / gx)
+	case isa.SpecNTidX:
+		return uint32(bx)
+	case isa.SpecNTidY:
+		y := s.launch.Block.Y
+		if y <= 0 {
+			y = 1
+		}
+		return uint32(y)
+	case isa.SpecNCtaX:
+		return uint32(gx)
+	case isa.SpecNCtaY:
+		y := s.launch.Grid.Y
+		if y <= 0 {
+			y = 1
+		}
+		return uint32(y)
+	case isa.SpecLaneID:
+		return uint32(lane)
+	case isa.SpecWarpID:
+		return uint32(w.warpInCTA)
+	}
+	if p, ok := sp.IsParam(); ok {
+		return s.launch.Params[p]
+	}
+	return 0
+}
+
+// operand fetches one source operand value for a lane.
+func (s *SM) operand(w *Warp, o isa.Operand, lane int) uint32 {
+	switch o.Kind {
+	case isa.OperandReg:
+		return w.regs[o.Reg][lane]
+	case isa.OperandImm:
+		return uint32(o.Imm)
+	case isa.OperandSpecial:
+		return s.special(w, o.Spec, lane)
+	}
+	return 0
+}
+
+// execute performs the architectural effect of instruction `in` at `pc` for
+// warp w: register/predicate/memory updates and SIMT control flow. `active`
+// is the stack active mask, `eff` the guard-filtered execution mask.
+//
+// Control flow (PC advance, divergence, exit, barrier) is fully resolved
+// here; the returned execResult feeds the timing pipeline only.
+func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (execResult, error) {
+	var res execResult
+	t := w.tos()
+
+	switch in.Op {
+	case isa.OpNop:
+		t.pc++
+
+	case isa.OpBar:
+		t.pc++
+		s.arriveBarrier(w)
+
+	case isa.OpExit:
+		dying := active
+		if in.Pred != isa.PredNone {
+			dying = eff
+			t.pc++
+		}
+		if w.retireThreads(dying) {
+			s.warpExited(w)
+		}
+		return res, nil
+
+	case isa.OpBra:
+		rpc := s.kernel.ReconvPC[pc]
+		if in.Pred == isa.PredNone {
+			t.pc = in.Target
+		} else {
+			w.diverge(eff, in.Target, pc+1, rpc)
+		}
+
+	case isa.OpSetP:
+		var setMask uint32
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			a := s.operand(w, in.Srcs[0], lane)
+			b := s.operand(w, in.Srcs[1], lane)
+			if isa.EvalCmp(in.Cmp, a, b) {
+				setMask |= 1 << lane
+			}
+		}
+		w.preds[in.PDst] = (w.preds[in.PDst] &^ eff) | setMask
+		t.pc++
+
+	case isa.OpSelP:
+		old := w.regs[in.Dst]
+		res.dstVals = old
+		psel := w.preds[in.PSrc]
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			if psel&(1<<lane) != 0 {
+				res.dstVals[lane] = s.operand(w, in.Srcs[0], lane)
+			} else {
+				res.dstVals[lane] = s.operand(w, in.Srcs[1], lane)
+			}
+		}
+		w.regs[in.Dst] = res.dstVals
+		res.writes = eff != 0
+		t.pc++
+
+	case isa.OpLdG, isa.OpLdS:
+		old := w.regs[in.Dst]
+		res.dstVals = old
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			addr := s.operand(w, in.Srcs[0], lane) + uint32(in.Off)
+			res.addrs[lane] = addr
+			var v uint32
+			var err error
+			if in.Op == isa.OpLdG {
+				v, err = s.gpu.mem.Load32(addr)
+			} else {
+				v, err = s.loadShared(w, addr)
+			}
+			if err != nil {
+				return res, fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
+			}
+			res.dstVals[lane] = v
+		}
+		w.regs[in.Dst] = res.dstVals
+		res.writes = eff != 0
+		s.memTiming(&res, in.Op == isa.OpLdG, eff)
+		t.pc++
+
+	case isa.OpAtomAdd:
+		old := w.regs[in.Dst]
+		res.dstVals = old
+		// Lanes apply in lane order; colliding addresses serialize, so
+		// each lane reads the running value (CUDA atomicAdd semantics
+		// for any one serialization order; lane order keeps it
+		// deterministic).
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			addr := s.operand(w, in.Srcs[0], lane) + uint32(in.Off)
+			res.addrs[lane] = addr
+			v, err := s.gpu.mem.Load32(addr)
+			if err != nil {
+				return res, fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
+			}
+			add := s.operand(w, in.Srcs[1], lane)
+			if err := s.gpu.mem.Store32(addr, v+add); err != nil {
+				return res, fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
+			}
+			res.dstVals[lane] = v
+		}
+		w.regs[in.Dst] = res.dstVals
+		res.writes = eff != 0
+		s.memTiming(&res, true, eff)
+		res.atomDeg = atomicConflictDegree(&res.addrs, eff)
+		t.pc++
+
+	case isa.OpStG, isa.OpStS:
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			addr := s.operand(w, in.Srcs[0], lane) + uint32(in.Off)
+			res.addrs[lane] = addr
+			v := s.operand(w, in.Srcs[1], lane)
+			var err error
+			if in.Op == isa.OpStG {
+				err = s.gpu.mem.Store32(addr, v)
+			} else {
+				err = s.storeShared(w, addr, v)
+			}
+			if err != nil {
+				return res, fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
+			}
+		}
+		s.memTiming(&res, in.Op == isa.OpStG, eff)
+		t.pc++
+
+	default: // plain ALU/SFU register ops
+		old := w.regs[in.Dst]
+		res.dstVals = old
+		for lane := 0; lane < isa.WarpSize; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			a := s.operand(w, in.Srcs[0], lane)
+			b := s.operand(w, in.Srcs[1], lane)
+			c := s.operand(w, in.Srcs[2], lane)
+			res.dstVals[lane] = isa.EvalALU(in.Op, a, b, c)
+		}
+		w.regs[in.Dst] = res.dstVals
+		res.writes = eff != 0
+		t.pc++
+	}
+
+	w.popReconverged()
+	if len(w.stack) == 0 && w.state != warpFinished {
+		w.state = warpFinished
+		s.warpExited(w)
+	}
+	return res, nil
+}
+
+// memTiming fills the coalescing/conflict fields of a memory access result.
+func (s *SM) memTiming(res *execResult, global bool, eff uint32) {
+	if eff == 0 {
+		return
+	}
+	if global {
+		res.segs = mem.CoalesceSegmentList(&res.addrs, eff, nil)
+	} else {
+		res.sharedDeg = mem.SharedConflictDegree(&res.addrs, eff)
+	}
+}
+
+// atomicConflictDegree counts the worst-case number of active lanes hitting
+// one address — the serialization factor of an atomic warp operation.
+func atomicConflictDegree(addrs *[isa.WarpSize]uint32, mask uint32) int {
+	deg := 0
+	for lane := 0; lane < isa.WarpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		n := 0
+		for l2 := 0; l2 <= lane; l2++ {
+			if mask&(1<<l2) != 0 && addrs[l2] == addrs[lane] {
+				n++
+			}
+		}
+		if n > deg {
+			deg = n
+		}
+	}
+	if deg == 0 {
+		return 1
+	}
+	return deg
+}
+
+// loadShared reads the CTA's shared memory slab.
+func (s *SM) loadShared(w *Warp, addr uint32) (uint32, error) {
+	slab := s.ctas[w.ctaSlot].shared
+	if addr%4 != 0 || int(addr)+4 > len(slab) {
+		return 0, fmt.Errorf("shared load at 0x%x out of %d-byte slab", addr, len(slab))
+	}
+	return uint32(slab[addr]) | uint32(slab[addr+1])<<8 | uint32(slab[addr+2])<<16 | uint32(slab[addr+3])<<24, nil
+}
+
+// storeShared writes the CTA's shared memory slab.
+func (s *SM) storeShared(w *Warp, addr uint32, v uint32) error {
+	slab := s.ctas[w.ctaSlot].shared
+	if addr%4 != 0 || int(addr)+4 > len(slab) {
+		return fmt.Errorf("shared store at 0x%x out of %d-byte slab", addr, len(slab))
+	}
+	slab[addr] = byte(v)
+	slab[addr+1] = byte(v >> 8)
+	slab[addr+2] = byte(v >> 16)
+	slab[addr+3] = byte(v >> 24)
+	return nil
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+)
+
+// GPU is the full device: NumSMs streaming multiprocessors sharing one
+// global memory, plus the grid-level CTA dispatcher.
+type GPU struct {
+	cfg Config
+	mem *mem.Global
+	sms []*SM
+}
+
+// New builds a GPU from a validated configuration.
+func New(config Config) (*GPU, error) {
+	if err := config.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: config, mem: mem.NewGlobal(config.GlobalMemBytes)}
+	for i := 0; i < config.NumSMs; i++ {
+		g.sms = append(g.sms, newSM(i, g))
+	}
+	return g, nil
+}
+
+// Mem exposes device global memory for host data setup.
+func (g *GPU) Mem() *mem.Global { return g.mem }
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// Result is the outcome of one kernel launch.
+type Result struct {
+	Cycles uint64
+	Stats  stats.Stats
+	Energy energy.Events
+}
+
+// Run simulates one kernel launch to completion and returns the aggregated
+// statistics of all SMs. The same GPU may run several launches in sequence;
+// global memory persists across launches (as on a real device).
+func (g *GPU) Run(l isa.Launch) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Kernel.ReconvPC == nil {
+		if err := cfg.ComputeReconvergence(l.Kernel); err != nil {
+			return nil, err
+		}
+	}
+	if l.WarpsPerCTA() > g.cfg.MaxWarpsPerSM {
+		return nil, fmt.Errorf("sim: CTA of %d warps exceeds SM capacity %d", l.WarpsPerCTA(), g.cfg.MaxWarpsPerSM)
+	}
+	if l.WarpsPerCTA()*l.Kernel.NumRegs > regfile.Capacity {
+		return nil, fmt.Errorf("sim: CTA register demand (%d warps x %d regs) exceeds register file capacity %d",
+			l.WarpsPerCTA(), l.Kernel.NumRegs, regfile.Capacity)
+	}
+
+	for _, sm := range g.sms {
+		sm.reset(l)
+	}
+
+	nextCTA := 0
+	numCTAs := l.NumCTAs()
+	cycle := uint64(1)
+	for {
+		// Round-robin CTA dispatch (one attempt per SM per cycle keeps
+		// the dispatcher simple and fair).
+		for _, sm := range g.sms {
+			if nextCTA >= numCTAs {
+				break
+			}
+			if sm.tryLaunchCTA(nextCTA) {
+				nextCTA++
+			}
+		}
+
+		busy := nextCTA < numCTAs
+		for _, sm := range g.sms {
+			sm.step(cycle)
+			if sm.err != nil {
+				return nil, fmt.Errorf("sim: SM %d, cycle %d: %w", sm.id, cycle, sm.err)
+			}
+			busy = busy || sm.busy()
+		}
+		if !busy {
+			break
+		}
+		cycle++
+		if cycle > g.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock or runaway kernel?)", g.cfg.MaxCycles)
+		}
+	}
+
+	// Drain invariants: a completed launch must leave no residue. A
+	// violation is a simulator bug, never a workload property.
+	for _, sm := range g.sms {
+		if sm.liveWarps != 0 || len(sm.inflight) != 0 || sm.collectorsInUse != 0 {
+			return nil, fmt.Errorf("sim: SM %d finished dirty: %d live warps, %d inflight, %d collectors",
+				sm.id, sm.liveWarps, len(sm.inflight), sm.collectorsInUse)
+		}
+		for slot, w := range sm.warps {
+			if w != nil {
+				return nil, fmt.Errorf("sim: SM %d warp slot %d not released", sm.id, slot)
+			}
+		}
+	}
+
+	res := &Result{Cycles: cycle}
+	// The baseline design has no compression hardware, so it carries no
+	// compressor/decompressor leakage. The RFC comparator leaks for its
+	// full capacity (entries x 128 B x resident warps).
+	compUnits, decompUnits := 0, 0
+	if g.cfg.Mode.Enabled() {
+		compUnits, decompUnits = g.cfg.Compressors, g.cfg.Decompressors
+	}
+	rfcKB := 0
+	if g.cfg.RFCEntries > 0 {
+		rfcKB = g.cfg.RFCEntries * 128 * g.cfg.MaxWarpsPerSM / 1024
+	}
+	for _, sm := range g.sms {
+		st := sm.finalize(cycle)
+		res.Stats.Add(st)
+		res.Energy.Add(energy.Events{
+			BankAccesses:      st.RF.BankReads + st.RF.BankWrites,
+			WireBeats:         st.RF.BankReads + st.RF.BankWrites,
+			CompActs:          st.CompActs,
+			DecompActs:        st.DecompActs,
+			RFCAccesses:       st.RFCReads + st.RFCWrites,
+			RFCKB:             rfcKB,
+			PoweredBankCycles: st.RF.PoweredBankCycles,
+			DrowsyBankCycles:  st.RF.DrowsyBankCycles,
+			Cycles:            cycle,
+			CompUnits:         compUnits,
+			DecompUnits:       decompUnits,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// pipeStage enumerates the timing states of an in-flight instruction.
+// Stages only move forward; zero-time transitions happen within one cycle,
+// waits span cycles.
+type pipeStage uint8
+
+const (
+	stCollect      pipeStage = iota // gathering source operand bank reads
+	stDecomp                        // waiting for decompressor unit grants
+	stDecompWait                    // decompression in progress
+	stExecStart                     // entering a functional unit / memory pipe
+	stExecWait                      // FU or memory latency
+	stCompress                      // waiting for a compressor unit
+	stCompressWait                  // compression in progress
+	stWrite                         // waiting for bank wakeup + write ports
+)
+
+// inflight is one issued instruction traversing the timing pipeline. The
+// architectural work already happened at issue; this struct only tracks when
+// hardware resources are occupied.
+type inflight struct {
+	w       *Warp
+	in      *isa.Instr // nil for injected dummy MOVs
+	eff     uint32     // execution mask
+	partial bool       // register write covers a subset of live lanes
+	dummy   bool       // injected decompress-MOV (paper §5.2)
+	res     execResult
+
+	stage        pipeStage
+	pendingBanks []int
+	compSrcs     int    // compressed sources awaiting a decompressor
+	unitReady    uint64 // latest decompressor completion granted so far
+	readyAt      uint64 // current stage's completion cycle
+
+	dstID    int
+	dummyDst isa.Reg
+	enc      core.Encoding
+	wbBanks  []int
+
+	mergedStore bool // recompress-policy partial write: stored full-width
+
+	l1Checked bool   // L1 lookup done (so retries don't re-access)
+	missTxns  int    // segments that missed and need DRAM transactions
+	hitReady  uint64 // completion cycle of the L1-hit portion
+}
+
+// advancePipeline moves every in-flight instruction forward one cycle, in
+// issue order (which makes oldest-first bank arbitration implicit), and
+// retires completed ones.
+func (s *SM) advancePipeline() {
+	out := s.inflight[:0]
+	for _, f := range s.inflight {
+		if s.advance(f) {
+			s.retire(f)
+		} else {
+			out = append(out, f)
+		}
+	}
+	s.inflight = out
+}
+
+// advance runs one cycle of an instruction's state machine; returns true
+// when the instruction has fully retired. `continue` transitions consume no
+// time; `return false` waits for the next cycle.
+func (s *SM) advance(f *inflight) bool {
+	for {
+		switch f.stage {
+		case stCollect:
+			rem := f.pendingBanks[:0]
+			for _, b := range f.pendingBanks {
+				if s.readPort[b] != s.cycle {
+					s.readPort[b] = s.cycle
+					s.rfFile.CountRead(b, s.cycle)
+				} else {
+					rem = append(rem, b)
+				}
+			}
+			f.pendingBanks = rem
+			if len(f.pendingBanks) > 0 {
+				return false
+			}
+			s.collectorsInUse--
+			if f.compSrcs > 0 {
+				f.stage = stDecomp
+			} else {
+				f.stage = stExecStart
+			}
+			return false // operand data arrives next cycle
+
+		case stDecomp:
+			for f.compSrcs > 0 {
+				ready, ok := s.decomp.TryStart(s.cycle)
+				if !ok {
+					return false
+				}
+				if ready > f.unitReady {
+					f.unitReady = ready
+				}
+				f.compSrcs--
+			}
+			f.readyAt = f.unitReady
+			f.stage = stDecompWait
+			continue
+
+		case stDecompWait:
+			if s.cycle < f.readyAt {
+				return false
+			}
+			f.stage = stExecStart
+			continue
+
+		case stExecStart:
+			if !s.startExec(f) {
+				return false
+			}
+			f.stage = stExecWait
+			continue
+
+		case stExecWait:
+			if s.cycle < f.readyAt {
+				return false
+			}
+			// Release predicate results at execute completion.
+			if f.in != nil && f.in.Op == isa.OpSetP {
+				f.w.predBusy &^= 1 << f.in.PDst
+			}
+			if !f.res.writes {
+				return true
+			}
+			if s.cfg.RFCEntries > 0 && !f.dummy {
+				s.rfcCommit(f)
+				return true
+			}
+			if s.needCompressor(f) {
+				f.stage = stCompress
+			} else {
+				// Bypassing the compressor always stores uncompressed
+				// (divergent writes, dummy MOVs, compression off).
+				f.enc = core.EncUncompressed
+				f.stage = stWrite
+			}
+			continue
+
+		case stCompress:
+			ready, ok := s.comp.TryStart(s.cycle)
+			if !ok {
+				s.st.StallCompressor++
+				return false
+			}
+			f.readyAt = ready
+			f.enc = s.cfg.Mode.Choose(&f.res.dstVals)
+			f.stage = stCompressWait
+			continue
+
+		case stCompressWait:
+			if s.cycle < f.readyAt {
+				return false
+			}
+			f.stage = stWrite
+			continue
+
+		case stWrite:
+			if f.wbBanks == nil {
+				var buf [regfile.BanksPerCluster]int
+				full := !f.partial || f.mergedStore
+				f.wbBanks = append([]int(nil), s.rfFile.WriteBanks(f.dstID, f.enc, f.eff, full, buf[:0])...)
+			}
+			// Wake any gated banks; wait until every target bank is on.
+			maxReady := s.cycle
+			for _, b := range f.wbBanks {
+				if r := s.rfFile.BankReady(b, s.cycle); r > maxReady {
+					maxReady = r
+				}
+			}
+			if maxReady > s.cycle {
+				s.st.StallWakeup++
+				return false
+			}
+			// All-or-nothing write port acquisition keeps the
+			// multi-bank write atomic.
+			for _, b := range f.wbBanks {
+				if s.writePort[b] == s.cycle {
+					return false
+				}
+			}
+			for _, b := range f.wbBanks {
+				s.writePort[b] = s.cycle
+				s.rfFile.CountWrite(b, s.cycle)
+			}
+			s.commitWrite(f)
+			return true
+		}
+	}
+}
+
+// startExec dispatches to the right functional unit / memory path; returns
+// false when a structural hazard (memory pipe full) forces a retry.
+func (s *SM) startExec(f *inflight) bool {
+	if f.dummy {
+		// The dummy MOV just passes data through the ALU path.
+		f.readyAt = s.cycle + uint64(s.cfg.ALULatency)
+		return true
+	}
+	switch f.in.Op.Class() {
+	case isa.ClassMem:
+		if f.eff == 0 {
+			f.readyAt = s.cycle
+			return true
+		}
+		if f.in.Op == isa.OpLdG || f.in.Op == isa.OpStG || f.in.Op == isa.OpAtomAdd {
+			return s.startGlobal(f)
+		}
+		s.st.SharedAccess++
+		f.readyAt = s.cycle + uint64(s.cfg.SharedLatency+f.res.sharedDeg-1)
+		return true
+	case isa.ClassSFU:
+		f.readyAt = s.cycle + uint64(s.cfg.SFULatency)
+		return true
+	default:
+		f.readyAt = s.cycle + uint64(s.cfg.ALULatency)
+		return true
+	}
+}
+
+// startGlobal issues a coalesced global access: loads probe the L1 (stores
+// are write-through, no-allocate), misses go to the DRAM pipe. Returns false
+// while the pipe has no room for the miss transactions.
+func (s *SM) startGlobal(f *inflight) bool {
+	if !f.l1Checked {
+		f.l1Checked = true
+		f.hitReady = s.cycle
+		if s.l1 != nil && f.in.Op == isa.OpLdG {
+			for _, seg := range f.res.segs {
+				if s.l1.Access(seg) {
+					f.hitReady = s.cycle + uint64(s.cfg.L1HitLatency)
+				} else {
+					f.missTxns++
+				}
+			}
+		} else {
+			// Stores are write-through no-allocate; atomics resolve on
+			// the memory side, bypassing the L1.
+			f.missTxns = len(f.res.segs)
+		}
+	}
+	f.readyAt = f.hitReady
+	if f.missTxns > 0 {
+		ready, ok := s.memPipe.TryIssue(s.cycle, f.missTxns)
+		if !ok {
+			return false
+		}
+		if ready > f.readyAt {
+			f.readyAt = ready
+		}
+	}
+	// Same-address atomic lanes serialize at the memory controller.
+	if f.res.atomDeg > 1 {
+		f.readyAt += uint64(f.res.atomDeg - 1)
+	}
+	return true
+}
+
+// needCompressor reports whether the write passes through a compressor unit:
+// only full-warp writes under an enabled compression mode are compressed;
+// divergent/partial writes and dummy MOVs store uncompressed directly
+// (paper §5.2).
+func (s *SM) needCompressor(f *inflight) bool {
+	if !s.cfg.Mode.Enabled() || f.dummy {
+		return false
+	}
+	return !f.partial || f.mergedStore
+}
+
+// commitWrite finishes a register write: register file metadata, scoreboard
+// release and statistics.
+func (s *SM) commitWrite(f *inflight) {
+	full := !f.partial || f.mergedStore
+	s.rfFile.CommitWrite(f.dstID, f.enc, full, s.cycle)
+
+	var dst isa.Reg
+	if f.dummy {
+		dst = f.dummyDst
+	} else {
+		dst = f.in.Dst
+	}
+	f.w.regBusy &^= 1 << dst
+
+	if f.dummy {
+		return // mechanism artifact: excluded from write statistics
+	}
+
+	phase := stats.NonDivergent
+	if f.partial {
+		phase = stats.Divergent
+	}
+	s.st.RegWrites[phase]++
+	s.st.WriteOrigBanks[phase] += core.WarpBanks
+	s.st.WritesByEnc[phase][f.enc]++
+
+	// Achievable compressed size in banks (Fig 8/15 measure compressibility
+	// of the data independent of the divergence storage policy).
+	mode := s.cfg.Mode
+	if !mode.Enabled() {
+		mode = core.ModeWarped
+	}
+	s.st.WriteCompBanks[phase] += uint64(mode.Choose(&f.res.dstVals).Banks())
+
+	// Fig 12 census sample.
+	written, compressed, _ := s.rfFile.Occupancy()
+	if written > 0 {
+		s.st.CensusSamples[phase]++
+		s.st.CensusCompressed[phase] += float64(compressed) / float64(written)
+	}
+
+	if s.cfg.CharacterizeWrites {
+		s.st.WriteBins[phase][trace.BinOf(&f.res.dstVals)]++
+		s.st.BDIChoices[trace.ExplorerChoice(&f.res.dstVals)]++
+	}
+}
+
+// rfcCommit finishes a register write through the register file cache
+// comparator: the result lands in the per-warp RFC (no bank access); a dirty
+// LRU eviction writes the victim back to the main banks. Partial writes to
+// registers absent from the RFC first fetch the register from the banks
+// (write-allocate needs the untouched lanes).
+func (s *SM) rfcCommit(f *inflight) {
+	w := f.w
+	s.st.RFCWrites++
+
+	if f.partial && !w.rfcLookup(f.in.Dst) && s.rfFile.Written(f.dstID) {
+		var buf [regfile.BanksPerCluster]int
+		for _, b := range s.rfFile.ReadBanks(f.dstID, w.launchMask, buf[:0]) {
+			s.rfFile.CountRead(b, s.cycle)
+		}
+	}
+	if evicted, dirty, ok := w.rfcInsert(f.in.Dst, s.cfg.RFCEntries); ok && dirty {
+		s.st.RFCEvictions++
+		s.rfcWriteback(w, evicted)
+	}
+	w.regBusy &^= 1 << f.in.Dst
+
+	phase := stats.NonDivergent
+	if f.partial {
+		phase = stats.Divergent
+	}
+	s.st.RegWrites[phase]++
+	s.st.WriteOrigBanks[phase] += core.WarpBanks
+	s.st.WriteCompBanks[phase] += core.WarpBanks // the RFC stores full width
+	s.st.WritesByEnc[phase][core.EncUncompressed]++
+}
+
+// rfcWriteback spills one dirty RFC register to the main banks (uncompressed
+// full-width write; the comparator has no compression hardware).
+func (s *SM) rfcWriteback(w *Warp, reg isa.Reg) {
+	id := regfile.RegID(w.slot, int(reg), s.kernel.NumRegs)
+	var buf [regfile.BanksPerCluster]int
+	for _, b := range s.rfFile.WriteBanks(id, core.EncUncompressed, w.launchMask, true, buf[:0]) {
+		s.rfFile.CountWrite(b, s.cycle)
+	}
+	s.rfFile.CommitWrite(id, core.EncUncompressed, true, s.cycle)
+}
+
+// retire releases the instruction's warp bookkeeping.
+func (s *SM) retire(f *inflight) {
+	f.w.inFlight--
+	if f.w.state == warpFinished && f.w.inFlight == 0 {
+		s.finalizeWarp(f.w)
+	}
+}

@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// ctaState tracks one resident thread block.
+type ctaState struct {
+	active    bool
+	ctaID     int
+	warpsLeft int // warps not yet finalized
+	liveWarps int // warps with threads still running (barrier quorum)
+	barrier   int // warps waiting at the barrier
+	shared    []byte
+	slots     []int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id     int
+	cfg    *Config
+	gpu    *GPU
+	launch isa.Launch
+	kernel *isa.Kernel
+
+	warps   []*Warp // indexed by slot; nil = free
+	ctas    []*ctaState
+	policy  []sched.Policy // one per scheduler
+	ageSeq  uint64
+	rfFile  *regfile.File
+	comp    *core.UnitPool
+	decomp  *core.UnitPool
+	memPipe *mem.Pipe
+	l1      *mem.Cache // nil when disabled
+
+	inflight []*inflight // issue order
+
+	// Per-cycle bank port reservations: stamp == cycle means taken.
+	readPort  [regfile.NumBanks]uint64
+	writePort [regfile.NumBanks]uint64
+
+	cycle           uint64
+	liveWarps       int
+	collectorsInUse int // inflight instructions still in stCollect
+
+	st  stats.Stats
+	err error
+}
+
+func newSM(id int, gpu *GPU) *SM {
+	cfg := &gpu.cfg
+	s := &SM{
+		id:      id,
+		cfg:     cfg,
+		gpu:     gpu,
+		warps:   make([]*Warp, cfg.MaxWarpsPerSM),
+		ctas:    make([]*ctaState, cfg.MaxCTAsPerSM),
+		rfFile:  regfile.New(regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter}),
+		comp:    core.NewUnitPool(cfg.Compressors, cfg.CompressLatency),
+		decomp:  core.NewUnitPool(cfg.Decompressors, cfg.DecompressLatency),
+		memPipe: mem.NewPipe(cfg.GlobalLatency, cfg.GlobalMaxInflight),
+	}
+	if cfg.L1SizeKB > 0 {
+		s.l1 = mem.NewCache(cfg.L1SizeKB<<10, cfg.L1Ways)
+	}
+	for i := range s.ctas {
+		s.ctas[i] = &ctaState{}
+	}
+	for i := 0; i < cfg.SchedulersPerSM; i++ {
+		s.policy = append(s.policy, sched.NewPolicy(cfg.Scheduler, cfg.MaxWarpsPerSM))
+	}
+	return s
+}
+
+// reset prepares the SM for a fresh kernel launch: new register file, unit
+// pools, memory pipe and statistics (global memory persists at GPU level).
+func (s *SM) reset(l isa.Launch) {
+	cfg := s.cfg
+	s.launch = l
+	s.kernel = l.Kernel
+	s.inflight = s.inflight[:0]
+	s.st = stats.Stats{}
+	s.rfFile = regfile.New(regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter})
+	s.comp = core.NewUnitPool(cfg.Compressors, cfg.CompressLatency)
+	s.decomp = core.NewUnitPool(cfg.Decompressors, cfg.DecompressLatency)
+	s.memPipe = mem.NewPipe(cfg.GlobalLatency, cfg.GlobalMaxInflight)
+	if cfg.L1SizeKB > 0 {
+		s.l1 = mem.NewCache(cfg.L1SizeKB<<10, cfg.L1Ways)
+	} else {
+		s.l1 = nil
+	}
+	for i := range s.warps {
+		s.warps[i] = nil
+	}
+	for i := range s.ctas {
+		s.ctas[i] = &ctaState{}
+	}
+	for _, p := range s.policy {
+		p.Reset()
+	}
+	s.liveWarps = 0
+	s.ageSeq = 0
+	s.collectorsInUse = 0
+	s.err = nil
+}
+
+// busy reports whether the SM still has resident work.
+func (s *SM) busy() bool { return s.liveWarps > 0 || len(s.inflight) > 0 }
+
+// maxWarpSlots is the number of usable warp slots given the kernel's
+// register demand (the register file occupancy limit).
+func (s *SM) maxWarpSlots() int {
+	n := s.cfg.MaxWarpsPerSM
+	if s.kernel == nil || s.kernel.NumRegs == 0 {
+		return n
+	}
+	byRegs := regfile.Capacity / s.kernel.NumRegs
+	if byRegs < n {
+		n = byRegs
+	}
+	return n
+}
+
+// tryLaunchCTA places grid CTA ctaID on this SM if resources allow.
+func (s *SM) tryLaunchCTA(ctaID int) bool {
+	warpsNeeded := s.launch.WarpsPerCTA()
+	var ctaSlot = -1
+	for i, c := range s.ctas {
+		if !c.active {
+			ctaSlot = i
+			break
+		}
+	}
+	if ctaSlot < 0 {
+		return false
+	}
+	limit := s.maxWarpSlots()
+	var free []int
+	for slot := 0; slot < limit && len(free) < warpsNeeded; slot++ {
+		if s.warps[slot] == nil {
+			free = append(free, slot)
+		}
+	}
+	if len(free) < warpsNeeded {
+		return false
+	}
+
+	cta := s.ctas[ctaSlot]
+	*cta = ctaState{
+		active:    true,
+		ctaID:     ctaID,
+		warpsLeft: warpsNeeded,
+		liveWarps: warpsNeeded,
+		shared:    make([]byte, s.kernel.SharedBytes),
+		slots:     free,
+	}
+	threads := s.launch.ThreadsPerCTA()
+	for wi, slot := range free {
+		live := threads - wi*isa.WarpSize
+		if live > isa.WarpSize {
+			live = isa.WarpSize
+		}
+		s.ageSeq++
+		w := newWarp(slot, ctaSlot, ctaID, wi, live, s.kernel.NumRegs, s.ageSeq)
+		s.warps[slot] = w
+		if err := s.rfFile.AllocWarp(slot, s.kernel.NumRegs); err != nil {
+			s.err = err
+			return false
+		}
+		s.liveWarps++
+	}
+	return true
+}
+
+// step advances the SM by one cycle.
+func (s *SM) step(cycle uint64) {
+	s.cycle = cycle
+	s.advancePipeline()
+	s.issueAll()
+	s.rfFile.Tick(cycle)
+}
+
+// issueAll lets every scheduler issue at most one instruction.
+func (s *SM) issueAll() {
+	nsched := s.cfg.SchedulersPerSM
+	var cands []sched.Candidate
+	for si := 0; si < nsched; si++ {
+		cands = cands[:0]
+		for slot := si; slot < len(s.warps); slot += nsched {
+			w := s.warps[slot]
+			if w == nil || w.state != warpRunning {
+				continue
+			}
+			if s.canIssue(w) {
+				cands = append(cands, sched.Candidate{Slot: slot, Age: w.age})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		slot := s.policy[si].Pick(cands)
+		s.issue(s.warps[slot])
+		if s.err != nil {
+			return
+		}
+	}
+}
+
+// canIssue checks every issue hazard for the warp's next instruction.
+func (s *SM) canIssue(w *Warp) bool {
+	t := w.tos()
+	if t == nil {
+		return false
+	}
+	in := &s.kernel.Code[t.pc]
+
+	// Predicate scoreboard: guard, comparison destination, selp source.
+	if in.Pred != isa.PredNone && w.predBusy&(1<<in.Pred) != 0 {
+		s.st.StallScoreboard++
+		return false
+	}
+	if in.PDst != isa.PredNone && w.predBusy&(1<<in.PDst) != 0 {
+		s.st.StallScoreboard++
+		return false
+	}
+	if in.PSrc != isa.PredNone && w.predBusy&(1<<in.PSrc) != 0 {
+		s.st.StallScoreboard++
+		return false
+	}
+	// Register scoreboard: RAW on sources, WAW on destination.
+	for _, src := range in.Srcs {
+		if src.Kind == isa.OperandReg && w.regBusy&(1<<src.Reg) != 0 {
+			s.st.StallScoreboard++
+			return false
+		}
+	}
+	if in.HasDst() && w.regBusy&(1<<in.Dst) != 0 {
+		s.st.StallScoreboard++
+		return false
+	}
+	// Structural: non-control instructions (and dummy MOVs) need a
+	// collector unit. A collector is held only while bank reads are
+	// outstanding: once operands are collected they are handed to the
+	// decompressor pipeline (paper Figure 1 places the decompressors
+	// between collectors and execution units, with their own buffering).
+	if in.Op.Class() != isa.ClassCtrl && s.collectorsInUse >= s.cfg.Collectors {
+		s.st.StallCollector++
+		return false
+	}
+	return true
+}
+
+// issue executes one instruction (or injects a dummy MOV) for warp w.
+func (s *SM) issue(w *Warp) {
+	t := w.tos()
+	pc := t.pc
+	in := &s.kernel.Code[pc]
+	active := t.mask
+	eff := active & w.guardMask(in)
+
+	// Dummy MOV injection (paper §5.2): a partial write to a register held
+	// in compressed state must first be decompressed in place. The
+	// "recompress" ablation policy instead merges through a buffer at
+	// writeback, so it never injects MOVs.
+	if in.HasDst() && eff != 0 && eff != w.launchMask && s.cfg.Mode.Enabled() &&
+		s.cfg.DivergencePolicy != "recompress" {
+		dstID := regfile.RegID(w.slot, int(in.Dst), s.kernel.NumRegs)
+		if s.rfFile.Written(dstID) && s.rfFile.Encoding(dstID).IsCompressed() {
+			s.issueDummyMov(w, in.Dst, dstID)
+			return
+		}
+	}
+
+	divergent := active != w.launchMask
+	s.st.Instructions++
+	if divergent {
+		s.st.DivergentInstrs++
+	}
+
+	res, err := s.execute(w, in, pc, active, eff)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if in.Op.Class() == isa.ClassCtrl {
+		return // branches/exit/barrier/nop resolve entirely at issue
+	}
+
+	f := &inflight{
+		w:       w,
+		in:      in,
+		eff:     eff,
+		partial: res.writes && eff != w.launchMask,
+		res:     res,
+		stage:   stCollect,
+	}
+	// Operand collector bank reads for distinct register sources. Sources
+	// resident in the register file cache comparator skip the banks.
+	var seen uint64
+	for _, src := range in.Srcs {
+		if src.Kind != isa.OperandReg || seen&(1<<src.Reg) != 0 {
+			continue
+		}
+		seen |= 1 << src.Reg
+		if s.cfg.RFCEntries > 0 {
+			if w.rfcLookup(src.Reg) {
+				s.st.RFCReads++
+				continue
+			}
+			s.st.RFCReadMisses++
+		}
+		id := regfile.RegID(w.slot, int(src.Reg), s.kernel.NumRegs)
+		var buf [regfile.BanksPerCluster]int
+		banks := s.rfFile.ReadBanks(id, active, buf[:0])
+		f.pendingBanks = append(f.pendingBanks, banks...)
+		if s.rfFile.Written(id) && s.rfFile.Encoding(id).IsCompressed() {
+			f.compSrcs++
+		}
+	}
+	if res.writes {
+		f.dstID = regfile.RegID(w.slot, int(in.Dst), s.kernel.NumRegs)
+		w.regBusy |= 1 << in.Dst
+		// Recompress policy: a partial write re-reads the destination's
+		// current banks so the merge buffer holds the full register.
+		if f.partial && s.cfg.Mode.Enabled() && s.cfg.DivergencePolicy == "recompress" &&
+			s.rfFile.Written(f.dstID) {
+			f.mergedStore = true
+			var buf [regfile.BanksPerCluster]int
+			f.pendingBanks = append(f.pendingBanks, s.rfFile.ReadBanks(f.dstID, w.launchMask, buf[:0])...)
+			if s.rfFile.Encoding(f.dstID).IsCompressed() {
+				f.compSrcs++
+			}
+		}
+	}
+	if in.Op == isa.OpSetP {
+		w.predBusy |= 1 << in.PDst
+	}
+	w.inFlight++
+	s.collectorsInUse++
+	s.inflight = append(s.inflight, f)
+}
+
+// issueDummyMov injects the decompress-in-place MOV of paper §5.2.
+func (s *SM) issueDummyMov(w *Warp, dst isa.Reg, dstID int) {
+	s.st.DummyMovs++
+	f := &inflight{
+		w:     w,
+		eff:   w.launchMask,
+		dummy: true,
+		stage: stCollect,
+		dstID: dstID,
+	}
+	f.res.writes = true
+	f.res.dstVals = w.regs[dst] // value is unchanged; only the encoding changes
+	var buf [regfile.BanksPerCluster]int
+	f.pendingBanks = append(f.pendingBanks, s.rfFile.ReadBanks(dstID, w.launchMask, buf[:0])...)
+	f.compSrcs = 1
+	w.regBusy |= 1 << dst
+	f.dummyDst = dst
+	w.inFlight++
+	s.collectorsInUse++
+	s.inflight = append(s.inflight, f)
+}
+
+// arriveBarrier handles bar.sync issue.
+func (s *SM) arriveBarrier(w *Warp) {
+	w.state = warpAtBarrier
+	cta := s.ctas[w.ctaSlot]
+	cta.barrier++
+	s.checkBarrier(cta)
+}
+
+// checkBarrier releases the CTA barrier when every live warp arrived.
+func (s *SM) checkBarrier(cta *ctaState) {
+	if cta.barrier == 0 || cta.barrier < cta.liveWarps {
+		return
+	}
+	cta.barrier = 0
+	for _, slot := range cta.slots {
+		if w := s.warps[slot]; w != nil && w.state == warpAtBarrier {
+			w.state = warpRunning
+		}
+	}
+}
+
+// warpExited is called when the last thread of a warp leaves.
+func (s *SM) warpExited(w *Warp) {
+	cta := s.ctas[w.ctaSlot]
+	cta.liveWarps--
+	s.liveWarps--
+	s.checkBarrier(cta) // remaining warps may now satisfy the barrier
+	if w.inFlight == 0 {
+		s.finalizeWarp(w)
+	}
+}
+
+// finalizeWarp frees a fully drained, exited warp's resources.
+func (s *SM) finalizeWarp(w *Warp) {
+	if w.finalized {
+		return
+	}
+	w.finalized = true
+	// Flush the comparator's dirty entries back to the main banks (energy
+	// accounting; the warp is done so timing is irrelevant).
+	if s.cfg.RFCEntries > 0 {
+		for _, e := range w.rfc {
+			if e.dirty {
+				s.rfcWriteback(w, e.reg)
+			}
+		}
+		w.rfc = nil
+	}
+	s.rfFile.FreeWarp(w.slot, s.kernel.NumRegs, s.cycle)
+	s.warps[w.slot] = nil
+	cta := s.ctas[w.ctaSlot]
+	cta.warpsLeft--
+	if cta.warpsLeft == 0 {
+		cta.active = false
+		cta.shared = nil
+	}
+}
+
+// finalize closes out per-SM statistics at end of simulation.
+func (s *SM) finalize(cycles uint64) *stats.Stats {
+	s.rfFile.Finish(cycles)
+	s.st.Cycles = cycles
+	s.st.RF = s.rfFile.Snapshot()
+	s.st.CompActs = s.comp.Activations()
+	s.st.DecompActs = s.decomp.Activations()
+	s.st.GlobalTxns = s.memPipe.Transactions()
+	if s.l1 != nil {
+		s.st.L1Hits, s.st.L1Misses = s.l1.Stats()
+	}
+	return &s.st
+}

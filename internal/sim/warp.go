@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// stackEntry is one SIMT reconvergence stack record (GPGPU-Sim style):
+// execute at PC with Mask active; pop when PC reaches RPC.
+type stackEntry struct {
+	pc   int32
+	rpc  int32 // reconvergence PC; -1 = only reconverges at exit
+	mask uint32
+}
+
+// warpState tracks a warp's lifecycle on an SM.
+type warpState uint8
+
+const (
+	warpRunning warpState = iota
+	warpAtBarrier
+	warpFinished // all threads exited; may still have instructions in flight
+)
+
+// Warp is one resident warp: functional register state plus SIMT control.
+type Warp struct {
+	slot      int // hardware warp slot on the SM
+	ctaSlot   int // CTA slot on the SM
+	ctaID     int // global CTA index in the grid
+	warpInCTA int // warp index within the CTA
+	age       uint64
+
+	launchMask uint32 // live (not yet exited) threads
+	stack      []stackEntry
+
+	regs  [][isa.WarpSize]uint32 // [reg][lane] functional values
+	preds [isa.MaxPreds]uint32   // per-predicate lane bitmasks
+
+	state     warpState
+	inFlight  int  // issued but not retired instructions
+	finalized bool // resources already released
+
+	// Register file cache comparator state (abl4-rfc): a small per-warp
+	// LRU of recently written warp registers.
+	rfc      []rfcEntry
+	rfcStamp uint64
+
+	// Scoreboard: destination registers/predicates with writes in flight.
+	regBusy  uint64
+	predBusy uint8
+}
+
+func newWarp(slot, ctaSlot, ctaID, warpInCTA int, liveThreads int, numRegs int, age uint64) *Warp {
+	mask := uint32(0xFFFFFFFF)
+	if liveThreads < isa.WarpSize {
+		mask = (uint32(1) << liveThreads) - 1
+	}
+	return &Warp{
+		slot:       slot,
+		ctaSlot:    ctaSlot,
+		ctaID:      ctaID,
+		warpInCTA:  warpInCTA,
+		age:        age,
+		launchMask: mask,
+		stack:      []stackEntry{{pc: 0, rpc: -1, mask: mask}},
+		regs:       make([][isa.WarpSize]uint32, numRegs),
+	}
+}
+
+// tos returns the top SIMT stack entry; nil when the warp has fully exited.
+func (w *Warp) tos() *stackEntry {
+	if len(w.stack) == 0 {
+		return nil
+	}
+	return &w.stack[len(w.stack)-1]
+}
+
+// pc returns the warp's current program counter.
+func (w *Warp) pc() int32 { return w.tos().pc }
+
+// activeMask returns the current SIMT active mask.
+func (w *Warp) activeMask() uint32 { return w.tos().mask }
+
+// guardMask evaluates an instruction guard over the warp: the subset of
+// lanes whose guard predicate holds (all lanes for unguarded instructions).
+func (w *Warp) guardMask(in *isa.Instr) uint32 {
+	if in.Pred == isa.PredNone {
+		return 0xFFFFFFFF
+	}
+	m := w.preds[in.Pred]
+	if in.PredNeg {
+		m = ^m
+	}
+	return m
+}
+
+// popReconverged pops stack entries whose PC reached their reconvergence
+// point, and drops dead (zero-mask) entries.
+func (w *Warp) popReconverged() {
+	for len(w.stack) > 0 {
+		t := w.tos()
+		if t.mask == 0 || (t.rpc >= 0 && t.pc == t.rpc) {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// retireThreads removes exiting lanes from the warp: they leave the launch
+// mask and every stack entry. Returns true when the whole warp has exited.
+func (w *Warp) retireThreads(dying uint32) bool {
+	w.launchMask &^= dying
+	for i := range w.stack {
+		w.stack[i].mask &^= dying
+	}
+	w.popReconverged()
+	if w.launchMask == 0 || len(w.stack) == 0 {
+		w.stack = w.stack[:0]
+		w.state = warpFinished
+		return true
+	}
+	return false
+}
+
+// diverge applies a conditional branch outcome: takenMask lanes go to
+// target, the rest fall through; rpc is the reconvergence PC from the CFG
+// analysis. Implements the standard SIMT-stack transformation.
+func (w *Warp) diverge(takenMask uint32, target, fallthrough_, rpc int32) {
+	t := w.tos()
+	active := t.mask
+	notTaken := active &^ takenMask
+	switch {
+	case takenMask == 0:
+		t.pc = fallthrough_
+	case notTaken == 0:
+		t.pc = target
+	default:
+		// True divergence: TOS becomes the reconvergence entry; push
+		// fallthrough then taken so taken executes first.
+		t.pc = rpc
+		// When rpc is -1 control only reconverges at exit: the TOS
+		// entry dies when both children have fully exited (mask
+		// removal happens via retireThreads), so keep it with pc==rpc
+		// sentinel; popReconverged skips rpc<0 entries until mask==0.
+		w.stack = append(w.stack,
+			stackEntry{pc: fallthrough_, rpc: rpc, mask: notTaken},
+			stackEntry{pc: target, rpc: rpc, mask: takenMask},
+		)
+	}
+}
+
+// rfcEntry is one slot of the per-warp register file cache comparator.
+type rfcEntry struct {
+	reg   isa.Reg
+	dirty bool
+	lru   uint64
+}
+
+// rfcLookup finds reg in the warp's RFC, refreshing its LRU stamp.
+func (w *Warp) rfcLookup(reg isa.Reg) bool {
+	for i := range w.rfc {
+		if w.rfc[i].reg == reg {
+			w.rfcStamp++
+			w.rfc[i].lru = w.rfcStamp
+			return true
+		}
+	}
+	return false
+}
+
+// rfcInsert places reg in the RFC as dirty, evicting the LRU entry when the
+// cache is full. Returns the evicted register and whether it was dirty.
+func (w *Warp) rfcInsert(reg isa.Reg, capacity int) (evicted isa.Reg, dirty bool, didEvict bool) {
+	w.rfcStamp++
+	for i := range w.rfc {
+		if w.rfc[i].reg == reg {
+			w.rfc[i].dirty = true
+			w.rfc[i].lru = w.rfcStamp
+			return 0, false, false
+		}
+	}
+	if len(w.rfc) < capacity {
+		w.rfc = append(w.rfc, rfcEntry{reg: reg, dirty: true, lru: w.rfcStamp})
+		return 0, false, false
+	}
+	victim := 0
+	for i := 1; i < len(w.rfc); i++ {
+		if w.rfc[i].lru < w.rfc[victim].lru {
+			victim = i
+		}
+	}
+	evicted, dirty = w.rfc[victim].reg, w.rfc[victim].dirty
+	w.rfc[victim] = rfcEntry{reg: reg, dirty: true, lru: w.rfcStamp}
+	return evicted, dirty, true
+}
+
+// countBits is a readability helper for mask population counts.
+func countBits(m uint32) int { return bits.OnesCount32(m) }

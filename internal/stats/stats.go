@@ -1,0 +1,211 @@
+// Package stats collects the simulation counters from which every figure of
+// the paper is derived.
+package stats
+
+import "repro/internal/regfile"
+
+// Phase indexes the two execution phases the paper separates everywhere:
+// non-divergent (active mask == warp launch mask) and divergent.
+type Phase int
+
+const (
+	NonDivergent Phase = iota
+	Divergent
+	NumPhases
+)
+
+func (p Phase) String() string {
+	if p == NonDivergent {
+		return "non-divergent"
+	}
+	return "divergent"
+}
+
+// Bin is the value-similarity category of a register write (paper Fig 2):
+// the smallest bin containing every successive-lane arithmetic distance.
+type Bin int
+
+const (
+	BinZero   Bin = iota // all successive lanes identical
+	Bin128               // |distance| <= 128
+	Bin32K               // |distance| <= 2^15
+	BinRandom            // anything larger
+	NumBins
+)
+
+func (b Bin) String() string {
+	switch b {
+	case BinZero:
+		return "zero"
+	case Bin128:
+		return "128"
+	case Bin32K:
+		return "32K"
+	}
+	return "random"
+}
+
+// NumEncodings mirrors core's encoding count (uncompressed, <4,0>, <4,1>,
+// <4,2>) without importing it, to keep stats dependency-light.
+const NumEncodings = 4
+
+// NumExplorerChoices is len(core.ExplorerParams)+1: the 7 full-BDI parameter
+// pairs of Fig 5 plus "uncompressed".
+const NumExplorerChoices = 8
+
+// Stats aggregates one SM's (or, after Add, one GPU's) counters.
+type Stats struct {
+	Cycles uint64
+
+	// Instruction accounting.
+	Instructions    uint64 // warp instructions issued (excluding dummy MOVs)
+	DivergentInstrs uint64 // issued with a partial active mask
+	DummyMovs       uint64 // injected decompress-MOVs (paper §5.2, Fig 11)
+
+	// Register-write characterization (Figs 2 and 5), by phase.
+	WriteBins  [NumPhases][NumBins]uint64
+	BDIChoices [NumExplorerChoices]uint64 // full-BDI best choice per write
+
+	// Compression results by phase (Figs 8, 12, 15). Sizes are counted in
+	// 16-byte register banks, the paper's storage granularity (so the
+	// best-case <4,0> ratio is 8, not 32).
+	RegWrites      [NumPhases]uint64
+	WriteOrigBanks [NumPhases]uint64
+	WriteCompBanks [NumPhases]uint64
+	WritesByEnc    [NumPhases][NumEncodings]uint64
+
+	// Fig 12 census: running sums of compressed/written snapshots taken at
+	// writes in each phase.
+	CensusSamples    [NumPhases]uint64
+	CensusCompressed [NumPhases]float64
+
+	// Register file and compression hardware events.
+	RF         regfile.Stats
+	CompActs   uint64
+	DecompActs uint64
+
+	// Register file cache comparator events (abl4-rfc).
+	RFCReads      uint64 // operand reads served by the RFC
+	RFCReadMisses uint64 // operand reads that fell through to the banks
+	RFCWrites     uint64 // results written into the RFC
+	RFCEvictions  uint64 // dirty evictions written back to the main banks
+
+	// Memory system.
+	GlobalTxns   uint64
+	SharedAccess uint64
+	L1Hits       uint64
+	L1Misses     uint64
+
+	// Structural stall diagnostics (useful for latency-sweep analysis).
+	StallScoreboard uint64
+	StallCollector  uint64
+	StallCompressor uint64
+	StallWakeup     uint64
+}
+
+// Add merges another Stats (e.g. a second SM) into s. Cycles takes the max
+// since SMs run concurrently; everything else sums.
+func (s *Stats) Add(o *Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.Instructions += o.Instructions
+	s.DivergentInstrs += o.DivergentInstrs
+	s.DummyMovs += o.DummyMovs
+	for p := Phase(0); p < NumPhases; p++ {
+		for b := Bin(0); b < NumBins; b++ {
+			s.WriteBins[p][b] += o.WriteBins[p][b]
+		}
+		s.RegWrites[p] += o.RegWrites[p]
+		s.WriteOrigBanks[p] += o.WriteOrigBanks[p]
+		s.WriteCompBanks[p] += o.WriteCompBanks[p]
+		for e := 0; e < NumEncodings; e++ {
+			s.WritesByEnc[p][e] += o.WritesByEnc[p][e]
+		}
+		s.CensusSamples[p] += o.CensusSamples[p]
+		s.CensusCompressed[p] += o.CensusCompressed[p]
+	}
+	for i := 0; i < NumExplorerChoices; i++ {
+		s.BDIChoices[i] += o.BDIChoices[i]
+	}
+	s.RF.BankReads += o.RF.BankReads
+	s.RF.BankWrites += o.RF.BankWrites
+	for i := 0; i < regfile.NumBanks; i++ {
+		s.RF.PerBankReads[i] += o.RF.PerBankReads[i]
+		s.RF.PerBankWrites[i] += o.RF.PerBankWrites[i]
+		s.RF.PerBankGatedCycles[i] += o.RF.PerBankGatedCycles[i]
+	}
+	s.RF.PoweredBankCycles += o.RF.PoweredBankCycles
+	s.RF.DrowsyBankCycles += o.RF.DrowsyBankCycles
+	s.RF.Cycles += o.RF.Cycles
+	s.RF.ReadBeforeWrite += o.RF.ReadBeforeWrite
+	s.CompActs += o.CompActs
+	s.DecompActs += o.DecompActs
+	s.RFCReads += o.RFCReads
+	s.RFCReadMisses += o.RFCReadMisses
+	s.RFCWrites += o.RFCWrites
+	s.RFCEvictions += o.RFCEvictions
+	s.GlobalTxns += o.GlobalTxns
+	s.SharedAccess += o.SharedAccess
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.StallScoreboard += o.StallScoreboard
+	s.StallCollector += o.StallCollector
+	s.StallCompressor += o.StallCompressor
+	s.StallWakeup += o.StallWakeup
+}
+
+// NonDivergentRatio is Fig 3: the fraction of warp instructions executed
+// with a full active mask.
+func (s *Stats) NonDivergentRatio() float64 {
+	if s.Instructions == 0 {
+		return 1
+	}
+	return 1 - float64(s.DivergentInstrs)/float64(s.Instructions)
+}
+
+// CompressionRatio is Fig 8 for one phase: original register banks divided
+// by the banks the achievable encoding needs, over all register writes in
+// that phase.
+func (s *Stats) CompressionRatio(p Phase) float64 {
+	if s.WriteCompBanks[p] == 0 {
+		return 1
+	}
+	return float64(s.WriteOrigBanks[p]) / float64(s.WriteCompBanks[p])
+}
+
+// DummyMovRatio is Fig 11: dummy MOVs as a fraction of all instructions
+// (real + injected).
+func (s *Stats) DummyMovRatio() float64 {
+	total := s.Instructions + s.DummyMovs
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DummyMovs) / float64(total)
+}
+
+// CompressedRegFraction is Fig 12 for one phase: average fraction of written
+// registers in compressed state, sampled at writes in that phase.
+func (s *Stats) CompressedRegFraction(p Phase) (float64, bool) {
+	if s.CensusSamples[p] == 0 {
+		return 0, false
+	}
+	return s.CensusCompressed[p] / float64(s.CensusSamples[p]), true
+}
+
+// WriteBinFractions returns the Fig 2 bin shares for one phase (sums to 1
+// when any writes happened).
+func (s *Stats) WriteBinFractions(p Phase) [NumBins]float64 {
+	var out [NumBins]float64
+	var total uint64
+	for _, c := range s.WriteBins[p] {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range s.WriteBins[p] {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

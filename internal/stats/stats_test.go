@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNonDivergentRatio(t *testing.T) {
+	s := &Stats{Instructions: 100, DivergentInstrs: 21}
+	if got := s.NonDivergentRatio(); got != 0.79 {
+		t.Fatalf("ratio %v, want 0.79", got)
+	}
+	empty := &Stats{}
+	if empty.NonDivergentRatio() != 1 {
+		t.Fatal("empty run should report fully convergent")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	s := &Stats{}
+	s.WriteOrigBanks[NonDivergent] = 800
+	s.WriteCompBanks[NonDivergent] = 320
+	if got := s.CompressionRatio(NonDivergent); got != 2.5 {
+		t.Fatalf("ratio %v, want 2.5", got)
+	}
+	if got := s.CompressionRatio(Divergent); got != 1 {
+		t.Fatal("no divergent writes should report ratio 1")
+	}
+}
+
+func TestDummyMovRatio(t *testing.T) {
+	s := &Stats{Instructions: 98, DummyMovs: 2}
+	if got := s.DummyMovRatio(); got != 0.02 {
+		t.Fatalf("ratio %v, want 0.02", got)
+	}
+	if (&Stats{}).DummyMovRatio() != 0 {
+		t.Fatal("empty run ratio")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	s := &Stats{}
+	s.CensusSamples[Divergent] = 4
+	s.CensusCompressed[Divergent] = 2.0
+	v, ok := s.CompressedRegFraction(Divergent)
+	if !ok || v != 0.5 {
+		t.Fatalf("census %v %v", v, ok)
+	}
+	if _, ok := s.CompressedRegFraction(NonDivergent); ok {
+		t.Fatal("no samples should report not-ok")
+	}
+}
+
+func TestWriteBinFractions(t *testing.T) {
+	s := &Stats{}
+	s.WriteBins[NonDivergent] = [NumBins]uint64{10, 20, 30, 40}
+	f := s.WriteBinFractions(NonDivergent)
+	if f[0] != 0.1 || f[3] != 0.4 {
+		t.Fatalf("fractions %v", f)
+	}
+	sum := 0.0
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	zero := s.WriteBinFractions(Divergent)
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("empty phase should be all zeros")
+		}
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	a := &Stats{Cycles: 100, Instructions: 10, DummyMovs: 1}
+	a.WriteBins[Divergent][BinZero] = 3
+	a.RF.PerBankReads[5] = 7
+	a.CensusSamples[NonDivergent] = 2
+	a.CensusCompressed[NonDivergent] = 1.0
+
+	b := &Stats{Cycles: 90, Instructions: 5, DivergentInstrs: 2}
+	b.WriteBins[Divergent][BinZero] = 4
+	b.RF.PerBankReads[5] = 3
+	b.BDIChoices[2] = 9
+	b.StallWakeup = 11
+
+	a.Add(b)
+	if a.Cycles != 100 {
+		t.Fatalf("cycles take max: %d", a.Cycles)
+	}
+	if a.Instructions != 15 || a.DivergentInstrs != 2 || a.DummyMovs != 1 {
+		t.Fatal("instruction sums")
+	}
+	if a.WriteBins[Divergent][BinZero] != 7 {
+		t.Fatal("bin sums")
+	}
+	if a.RF.PerBankReads[5] != 10 {
+		t.Fatal("per-bank sums")
+	}
+	if a.BDIChoices[2] != 9 || a.StallWakeup != 11 {
+		t.Fatal("choice/stall sums")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NonDivergent.String() != "non-divergent" || Divergent.String() != "divergent" {
+		t.Fatal("phase names")
+	}
+	names := map[Bin]string{BinZero: "zero", Bin128: "128", Bin32K: "32K", BinRandom: "random"}
+	for b, want := range names {
+		if b.String() != want {
+			t.Fatalf("bin %d name %q", b, b.String())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package trace characterizes register write values the way paper §3 does:
+// successive-lane arithmetic distances binned into zero / 128 / 32K / random
+// (Fig 2) and the full-BDI best-parameter breakdown (Fig 5).
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Distance returns the arithmetic distance |a - b| between two thread
+// register values interpreted as 32-bit two's complement integers, as a
+// non-negative 64-bit value (so -2^31 vs 2^31-1 does not overflow).
+func Distance(a, b uint32) uint64 {
+	d := int64(int32(a)) - int64(int32(b))
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// BinOf classifies one warp register write: the smallest Fig 2 bin that
+// contains every successive-lane distance.
+func BinOf(vals *core.WarpReg) stats.Bin {
+	bin := stats.BinZero
+	for i := 0; i+1 < len(vals); i++ {
+		d := Distance(vals[i+1], vals[i])
+		var b stats.Bin
+		switch {
+		case d == 0:
+			b = stats.BinZero
+		case d <= 128:
+			b = stats.Bin128
+		case d <= 1<<15:
+			b = stats.Bin32K
+		default:
+			return stats.BinRandom
+		}
+		if b > bin {
+			bin = b
+		}
+	}
+	return bin
+}
+
+// ExplorerChoice returns the Fig 5 histogram slot for a write: the index
+// into core.ExplorerParams of the best full-BDI parameter choice, or
+// UncompressedChoice when nothing compresses.
+func ExplorerChoice(vals *core.WarpReg) int {
+	best, ok := core.BestParams(vals.Bytes())
+	if !ok {
+		return UncompressedChoice
+	}
+	for i, p := range core.ExplorerParams {
+		if p == best {
+			return i
+		}
+	}
+	return UncompressedChoice
+}
+
+// UncompressedChoice is the histogram slot for writes no explorer parameter
+// could compress; it follows the 7 core.ExplorerParams slots.
+const UncompressedChoice = 7
+
+// ChoiceName labels a Fig 5 histogram slot.
+func ChoiceName(i int) string {
+	if i >= 0 && i < len(core.ExplorerParams) {
+		return core.ExplorerParams[i].String()
+	}
+	return "uncompressed"
+}

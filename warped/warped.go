@@ -1,0 +1,194 @@
+// Package warped is the public API of the warped-compression reproduction
+// (Lee et al., "Warped-Compression: Enabling Power Efficient GPUs through
+// Register Compression", ISCA 2015).
+//
+// It exposes four layers:
+//
+//   - the compression primitives (BDI over 128-byte warp registers, the
+//     fixed <4,0>/<4,1>/<4,2> encodings and the design-space explorer);
+//   - the cycle-level SIMT GPU model (Table 2 microarchitecture) with the
+//     warped-compression register file path, a SASS-like ISA and a text
+//     assembler for writing kernels;
+//   - the Table 3 energy model;
+//   - the 22-benchmark suite and the experiment runners that regenerate
+//     every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	gpu, _ := warped.NewGPU(warped.DefaultConfig())
+//	kernel, _ := warped.Assemble("scale", src)
+//	res, _ := gpu.Run(warped.Launch{Kernel: kernel, Grid: warped.Dim3{X: 30}, Block: warped.Dim3{X: 256}})
+//	fmt.Println(res.Cycles, res.Stats.CompressionRatio(warped.NonDivergent))
+package warped
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// --- Compression primitives (the paper's core contribution) ---
+
+// WarpReg is one warp register: 32 lane values of 32 bits.
+type WarpReg = core.WarpReg
+
+// Encoding is the 2-bit compression range indicator (uncompressed, <4,0>,
+// <4,1> or <4,2>).
+type Encoding = core.Encoding
+
+// Encoding values.
+const (
+	EncUncompressed = core.EncUncompressed
+	Enc40           = core.Enc40
+	Enc41           = core.Enc41
+	Enc42           = core.Enc42
+)
+
+// Mode is the compression policy (off, warped, or a single fixed choice).
+type Mode = core.Mode
+
+// Compression modes.
+const (
+	ModeOff    = core.ModeOff
+	ModeWarped = core.ModeWarped
+	ModeOnly40 = core.ModeOnly40
+	ModeOnly41 = core.ModeOnly41
+	ModeOnly42 = core.ModeOnly42
+)
+
+// BDIParams is one <base,delta> configuration of the BDI algorithm.
+type BDIParams = core.Params
+
+// Compress encodes a 128-byte warp register image with the given BDI
+// parameters; ok is false when the data does not fit.
+func Compress(data []byte, p BDIParams) ([]byte, bool) { return core.Compress(data, p) }
+
+// Decompress reverses Compress.
+func Decompress(comp []byte, p BDIParams, out []byte) error { return core.Decompress(comp, p, out) }
+
+// BestBDIParams runs the full design-space explorer of paper §4 / Fig 5.
+func BestBDIParams(data []byte) (BDIParams, bool) { return core.BestParams(data) }
+
+// ChooseEncoding applies a compression mode to a warp register value vector,
+// returning the encoding the hardware compressor would store.
+func ChooseEncoding(m Mode, vals *WarpReg) Encoding { return m.Choose(vals) }
+
+// --- GPU model ---
+
+// Config is the full microarchitectural configuration (paper Table 2 plus
+// design-space knobs).
+type Config = sim.Config
+
+// GPU is the simulated device.
+type GPU = sim.GPU
+
+// Result is the outcome of one kernel launch.
+type Result = sim.Result
+
+// Stats are the per-launch counters every figure derives from.
+type Stats = stats.Stats
+
+// Phase selects the divergence phase of phase-split statistics.
+type Phase = stats.Phase
+
+// Divergence phases.
+const (
+	NonDivergent = stats.NonDivergent
+	Divergent    = stats.Divergent
+)
+
+// DefaultConfig returns paper Table 2 with warped-compression on.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// BaselineConfig returns the paper's no-compression baseline.
+func BaselineConfig() Config { return sim.BaselineConfig() }
+
+// NewGPU builds a simulated GPU.
+func NewGPU(c Config) (*GPU, error) { return sim.New(c) }
+
+// --- ISA and assembler ---
+
+// Kernel is an assembled kernel image.
+type Kernel = isa.Kernel
+
+// Launch describes one kernel invocation.
+type Launch = isa.Launch
+
+// Dim3 is launch geometry.
+type Dim3 = isa.Dim3
+
+// Memory is device global memory.
+type Memory = mem.Global
+
+// Assemble builds a kernel from assembly text (see internal/asm for the
+// syntax; examples/quickstart shows a complete kernel).
+func Assemble(name, src string) (*Kernel, error) { return asm.Assemble(name, src) }
+
+// --- Energy model ---
+
+// EnergyParams are the Table 3 technology constants.
+type EnergyParams = energy.Params
+
+// EnergyEvents are the countable events energy is computed from.
+type EnergyEvents = energy.Events
+
+// EnergyBreakdown splits register file energy by component.
+type EnergyBreakdown = energy.Breakdown
+
+// DefaultEnergyParams returns paper Table 3.
+func DefaultEnergyParams() EnergyParams { return energy.DefaultParams() }
+
+// ComputeEnergy applies the energy model to a launch's event counts.
+func ComputeEnergy(p EnergyParams, ev EnergyEvents) EnergyBreakdown { return energy.Compute(p, ev) }
+
+// --- Benchmarks ---
+
+// Benchmark is one workload of the evaluation suite.
+type Benchmark = kernels.Benchmark
+
+// BenchmarkInstance is a built, ready-to-run benchmark launch.
+type BenchmarkInstance = kernels.Instance
+
+// Scale selects benchmark problem sizes.
+type Scale = kernels.Scale
+
+// Benchmark scales.
+const (
+	Small  = kernels.Small
+	Medium = kernels.Medium
+	Large  = kernels.Large
+)
+
+// Benchmarks lists the 22-workload evaluation suite.
+func Benchmarks() []*Benchmark { return kernels.All() }
+
+// BenchmarkByName finds one benchmark.
+func BenchmarkByName(name string) (*Benchmark, bool) { return kernels.ByName(name) }
+
+// --- Experiments (paper tables and figures) ---
+
+// ExperimentOptions configures an experiment runner.
+type ExperimentOptions = experiments.Options
+
+// ExperimentRunner regenerates paper exhibits with memoized simulations.
+type ExperimentRunner = experiments.Runner
+
+// Table is one regenerated table/figure.
+type Table = experiments.Table
+
+// NewExperimentRunner builds a runner.
+func NewExperimentRunner(opts ExperimentOptions) *ExperimentRunner {
+	return experiments.NewRunner(opts)
+}
+
+// ExperimentIDs lists every regenerable exhibit (table1..3, fig2..fig21).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an exhibit's caption.
+func ExperimentTitle(id string) (string, bool) { return experiments.Title(id) }
