@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify bench report clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate (see ROADMAP.md): static analysis plus the full
+# test suite under the race detector. The parallel experiment engine is
+# exercised concurrently by its own tests, so -race is load-bearing here,
+# not ceremonial.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+report:
+	$(GO) run ./cmd/warpedreport -o report.md
+
+clean:
+	$(GO) clean ./...

@@ -9,7 +9,9 @@
 package repro_test
 
 import (
+	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -177,6 +179,37 @@ func BenchmarkFig21(b *testing.B) {
 		return avgCol(t, "8cy")
 	})
 }
+
+// --- Parallel engine scaling ---
+
+// benchSuite regenerates fig9 (every benchmark under both the warped and
+// the baseline configuration — 16 simulations) at Medium scale with the
+// given worker-pool width. Each iteration builds a fresh runner so nothing
+// is served from the memo cache.
+func benchSuite(b *testing.B, parallelism int) {
+	b.Helper()
+	base := sim.DefaultConfig()
+	base.NumSMs = 4
+	for i := 0; i < b.N; i++ {
+		r := experiments.New(context.Background(),
+			experiments.WithScale(kernels.Medium),
+			experiments.WithBenchmarks("backprop", "bfs", "hotspot", "kmeans", "lud", "nw", "pathfinder", "srad"),
+			experiments.WithParallelism(parallelism),
+			experiments.WithBaseConfig(base))
+		if _, err := r.Run("fig9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the parallel-speedup reference point.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel runs the same workload across one worker per CPU.
+// Compare against BenchmarkSuiteSequential with benchstat; on a machine
+// with 4+ cores the wall-clock ratio should exceed 2x (the 16 jobs are
+// independent and the simulator is CPU-bound).
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.GOMAXPROCS(0)) }
 
 // --- Microbenchmarks of the primitives underlying every figure ---
 

@@ -1,50 +1,67 @@
 // warpedbench regenerates the tables and figures of the warped-compression
-// paper (ISCA 2015) on the simulated GPU.
+// paper (ISCA 2015) on the simulated GPU. Simulations fan out across a
+// worker pool (one per CPU by default); output is byte-identical at every
+// parallelism level.
 //
 // Usage:
 //
 //	warpedbench -exp all                 # every exhibit, medium scale
 //	warpedbench -exp fig9,fig13 -v       # headline results with progress
 //	warpedbench -exp fig8 -benchmarks bfs,lib -scale small
+//	warpedbench -parallel 4 -timeout 30m # bounded workers and wall time
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/warped"
 )
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated exhibit ids ("+strings.Join(warped.ExperimentIDs(), ",")+") or 'all'")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 20)")
-		scale   = flag.String("scale", "medium", "workload scale: small, medium or large")
-		out     = flag.String("o", "", "write output to file instead of stdout")
-		format  = flag.String("format", "text", "output format: text or csv")
-		verbose = flag.Bool("v", false, "log each simulation run")
+		exps     = flag.String("exp", "all", "comma-separated exhibit ids ("+strings.Join(warped.ExperimentIDs(), ",")+") or 'all'")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 20)")
+		scale    = flag.String("scale", "medium", "workload scale: small, medium or large")
+		out      = flag.String("o", "", "write output to file instead of stdout")
+		format   = flag.String("format", "text", "output format: text or csv")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
 
-	opts := warped.ExperimentOptions{}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []warped.ExperimentOption{warped.WithParallelism(*parallel)}
 	switch *scale {
 	case "small":
-		opts.Scale = warped.Small
+		opts = append(opts, warped.WithScale(warped.Small))
 	case "medium":
-		opts.Scale = warped.Medium
+		opts = append(opts, warped.WithScale(warped.Medium))
 	case "large":
-		opts.Scale = warped.Large
+		opts = append(opts, warped.WithScale(warped.Large))
 	default:
 		fatal("unknown scale %q", *scale)
 	}
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		opts = append(opts, warped.WithBenchmarks(strings.Split(*benches, ",")...))
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts = append(opts, warped.WithProgress(progress))
 	}
 
 	var w io.Writer = os.Stdout
@@ -62,10 +79,13 @@ func main() {
 		ids = strings.Split(*exps, ",")
 	}
 
-	r := warped.NewExperimentRunner(opts)
+	r := warped.NewExperiments(ctx, opts...)
 	for _, id := range ids {
 		t, err := r.Run(strings.TrimSpace(id))
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal("%s: timed out after %v", id, *timeout)
+			}
 			fatal("%s: %v", id, err)
 		}
 		switch *format {
@@ -81,6 +101,22 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Fprintln(w)
+	}
+}
+
+// progress renders the structured event stream as one line per event.
+func progress(ev warped.ExperimentEvent) {
+	switch ev.Kind {
+	case warped.ExperimentJobStart:
+		fmt.Fprintf(os.Stderr, "start %-12s [%s]\n", ev.Benchmark, ev.Config)
+	case warped.ExperimentJobDone:
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "fail  %-12s: %v\n", ev.Benchmark, ev.Err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "done  %-12s cycles=%-10d %v\n", ev.Benchmark, ev.Cycles, ev.Elapsed.Round(time.Millisecond))
+	case warped.ExperimentCacheHit:
+		fmt.Fprintf(os.Stderr, "hit   %-12s [%s]\n", ev.Benchmark, ev.Config)
 	}
 }
 

@@ -8,15 +8,19 @@
 //
 //	warpedreport                     # medium scale, all benchmarks
 //	warpedreport -scale small -o report.md
+//	warpedreport -parallel 8 -timeout 1h
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/warped"
 )
@@ -93,30 +97,47 @@ var claims = []claim{
 
 func main() {
 	var (
-		scale   = flag.String("scale", "medium", "workload scale: small, medium or large")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		out     = flag.String("o", "", "write the report to a file instead of stdout")
-		full    = flag.Bool("tables", false, "append the full per-benchmark tables after the summary")
-		verbose = flag.Bool("v", false, "log each simulation run")
+		scale    = flag.String("scale", "medium", "workload scale: small, medium or large")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		out      = flag.String("o", "", "write the report to a file instead of stdout")
+		full     = flag.Bool("tables", false, "append the full per-benchmark tables after the summary")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
 
-	opts := warped.ExperimentOptions{}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var benchList []string
+	opts := []warped.ExperimentOption{warped.WithParallelism(*parallel)}
 	switch *scale {
 	case "small":
-		opts.Scale = warped.Small
+		opts = append(opts, warped.WithScale(warped.Small))
 	case "medium":
-		opts.Scale = warped.Medium
+		opts = append(opts, warped.WithScale(warped.Medium))
 	case "large":
-		opts.Scale = warped.Large
+		opts = append(opts, warped.WithScale(warped.Large))
 	default:
 		fatal("unknown scale %q", *scale)
 	}
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		benchList = strings.Split(*benches, ",")
+		opts = append(opts, warped.WithBenchmarks(benchList...))
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts = append(opts, warped.WithProgress(func(ev warped.ExperimentEvent) {
+			if ev.Kind == warped.ExperimentJobDone && ev.Err == nil {
+				fmt.Fprintf(os.Stderr, "ran %-12s [%s] cycles=%d in %v\n",
+					ev.Benchmark, ev.Config, ev.Cycles, ev.Elapsed.Round(time.Millisecond))
+			}
+		}))
 	}
 
 	var w io.Writer = os.Stdout
@@ -129,9 +150,9 @@ func main() {
 		w = f
 	}
 
-	r := warped.NewExperimentRunner(opts)
+	r := warped.NewExperiments(ctx, opts...)
 	fmt.Fprintf(w, "# Warped-Compression: paper vs. measured (%s scale, %d benchmarks)\n\n",
-		*scale, benchCount(opts))
+		*scale, benchCount(benchList))
 	fmt.Fprintln(w, "| Exhibit | Quantity | Paper | Measured |")
 	fmt.Fprintln(w, "|---|---|---|---|")
 	tables := map[string]*warped.Table{}
@@ -164,9 +185,9 @@ func main() {
 	}
 }
 
-func benchCount(opts warped.ExperimentOptions) int {
-	if opts.Benchmarks != nil {
-		return len(opts.Benchmarks)
+func benchCount(subset []string) int {
+	if subset != nil {
+		return len(subset)
 	}
 	return len(warped.Benchmarks())
 }

@@ -7,33 +7,38 @@
 //	warpedsim -bench pathfinder
 //	warpedsim -bench bfs -mode off -scheduler lrr -scale large
 //	warpedsim -asm kernel.s -grid 30 -block 256
+//	warpedsim -bench srad -compare -parallel -timeout 5m
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"repro/warped"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "", "benchmark name (one of the 20-workload suite)")
-		list    = flag.Bool("list", false, "list available benchmarks and exit")
-		asmFile = flag.String("asm", "", "run a kernel from an assembly file instead of a benchmark")
-		grid    = flag.Int("grid", 30, "grid size in CTAs (with -asm)")
-		block   = flag.Int("block", 256, "CTA size in threads (with -asm)")
-		scale   = flag.String("scale", "medium", "benchmark scale: small, medium, large")
-		mode    = flag.String("mode", "warped", "compression mode: off, warped, only40, only41, only42")
-		sched   = flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
-		sms     = flag.Int("sms", 15, "number of SMs")
-		compLat = flag.Int("complat", 2, "compression latency in cycles")
-		decLat  = flag.Int("decomplat", 1, "decompression latency in cycles")
-		compare = flag.Bool("compare", false, "also run the no-compression baseline and report deltas")
-		jsonOut = flag.Bool("json", false, "emit the run result as JSON instead of the text summary")
+		bench    = flag.String("bench", "", "benchmark name (one of the 20-workload suite)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		asmFile  = flag.String("asm", "", "run a kernel from an assembly file instead of a benchmark")
+		grid     = flag.Int("grid", 30, "grid size in CTAs (with -asm)")
+		block    = flag.Int("block", 256, "CTA size in threads (with -asm)")
+		scale    = flag.String("scale", "medium", "benchmark scale: small, medium, large")
+		mode     = flag.String("mode", "warped", "compression mode: off, warped, only40, only41, only42")
+		sched    = flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
+		sms      = flag.Int("sms", 15, "number of SMs")
+		compLat  = flag.Int("complat", 2, "compression latency in cycles")
+		decLat   = flag.Int("decomplat", 1, "decompression latency in cycles")
+		compare  = flag.Bool("compare", false, "also run the no-compression baseline and report deltas")
+		parallel = flag.Bool("parallel", false, "with -compare, simulate the baseline concurrently")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
+		jsonOut  = flag.Bool("json", false, "emit the run result as versioned JSON ("+warped.ResultSchema+") instead of the text summary")
 	)
 	flag.Parse()
 
@@ -42,6 +47,14 @@ func main() {
 			fmt.Printf("%-11s [%s] %s\n", b.Name, b.Suite, b.Description)
 		}
 		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := warped.DefaultConfig()
@@ -76,30 +89,52 @@ func main() {
 		fatal("unknown scale %q", *scale)
 	}
 
-	res, err := runOnce(cfg, *bench, *asmFile, sc, *grid, *block)
+	// With -compare -parallel, the baseline simulates concurrently with the
+	// main configuration; the simulator itself is deterministic, so the
+	// numbers are identical either way.
+	var (
+		baseRes <-chan runOutcome
+		base    = cfg
+	)
+	base.Mode, base.PowerGating = warped.ModeOff, false
+	if *compare && *parallel {
+		ch := make(chan runOutcome, 1)
+		go func() {
+			res, err := runOnce(ctx, base, *bench, *asmFile, sc, *grid, *block)
+			ch <- runOutcome{res, err}
+		}()
+		baseRes = ch
+	}
+
+	res, err := runOnce(ctx, cfg, *bench, *asmFile, sc, *grid, *block)
 	if err != nil {
 		fatal("%v", err)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			Cycles uint64
-			Stats  *warped.Stats
-			Energy warped.EnergyBreakdown
-		}{res.Cycles, &res.Stats, warped.ComputeEnergy(warped.DefaultEnergyParams(), res.Energy)}); err != nil {
+		if err := enc.Encode(res); err != nil {
 			fatal("%v", err)
 		}
-		return
+		if !*compare {
+			return
+		}
+	} else {
+		printSummary(res)
 	}
-	printSummary(res)
 
 	if *compare {
-		base := cfg
-		base.Mode, base.PowerGating = warped.ModeOff, false
-		bres, err := runOnce(base, *bench, *asmFile, sc, *grid, *block)
+		bres, err := waitBaseline(ctx, baseRes, base, *bench, *asmFile, sc, *grid, *block)
 		if err != nil {
 			fatal("baseline: %v", err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(bres); err != nil {
+				fatal("%v", err)
+			}
+			return
 		}
 		p := warped.DefaultEnergyParams()
 		e := warped.ComputeEnergy(p, res.Energy)
@@ -112,7 +147,24 @@ func main() {
 	}
 }
 
-func runOnce(cfg warped.Config, bench, asmFile string, sc warped.Scale, grid, block int) (*warped.Result, error) {
+// runOutcome carries the concurrent baseline's result.
+type runOutcome struct {
+	res *warped.Result
+	err error
+}
+
+// waitBaseline collects the concurrent baseline run, or simulates it now
+// when -parallel was not given.
+func waitBaseline(ctx context.Context, ch <-chan runOutcome, base warped.Config,
+	bench, asmFile string, sc warped.Scale, grid, block int) (*warped.Result, error) {
+	if ch != nil {
+		out := <-ch
+		return out.res, out.err
+	}
+	return runOnce(ctx, base, bench, asmFile, sc, grid, block)
+}
+
+func runOnce(ctx context.Context, cfg warped.Config, bench, asmFile string, sc warped.Scale, grid, block int) (*warped.Result, error) {
 	gpu, err := warped.NewGPU(cfg)
 	if err != nil {
 		return nil, err
@@ -127,7 +179,7 @@ func runOnce(cfg warped.Config, bench, asmFile string, sc warped.Scale, grid, bl
 		if err != nil {
 			return nil, err
 		}
-		res, err := gpu.Run(inst.Launch)
+		res, err := gpu.RunContext(ctx, inst.Launch)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +196,7 @@ func runOnce(cfg warped.Config, bench, asmFile string, sc warped.Scale, grid, bl
 		if err != nil {
 			return nil, err
 		}
-		return gpu.Run(warped.Launch{Kernel: k, Grid: warped.Dim3{X: grid}, Block: warped.Dim3{X: block}})
+		return gpu.RunContext(ctx, warped.Launch{Kernel: k, Grid: warped.Dim3{X: grid}, Block: warped.Dim3{X: block}})
 	}
 	return nil, fmt.Errorf("need -bench or -asm (or -list)")
 }

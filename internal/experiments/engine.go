@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// EventKind classifies one entry of the engine's progress stream.
+type EventKind int
+
+const (
+	// EventJobStart fires when a (benchmark, configuration) simulation is
+	// dispatched to a worker slot.
+	EventJobStart EventKind = iota
+	// EventJobDone fires when that simulation finishes; Err is set on
+	// failure, Cycles and Elapsed on success.
+	EventJobDone
+	// EventCacheHit fires when a request is served from the memo cache
+	// (including requests that joined an in-flight simulation of the same
+	// key and waited for it).
+	EventCacheHit
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventJobStart:
+		return "start"
+	case EventJobDone:
+		return "done"
+	case EventCacheHit:
+		return "cache-hit"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one structured progress record. It replaces the former
+// io.Writer progress lines: consumers get per-job start/finish, simulated
+// cycle counts, wall time and cache hits, keyed by benchmark name and the
+// configuration's memo signature.
+type Event struct {
+	Kind      EventKind
+	Benchmark string
+	Config    string        // memoization signature of the configuration
+	Cycles    uint64        // simulated cycles (EventJobDone, EventCacheHit)
+	Elapsed   time.Duration // simulation wall time (EventJobDone)
+	Err       error         // failure, if any (EventJobDone)
+}
+
+// ProgressFunc receives progress events. The engine serializes calls: a
+// ProgressFunc never runs concurrently with itself, so implementations need
+// no locking of their own. It must not call back into the Runner.
+type ProgressFunc func(Event)
+
+// call is one single-flight memo entry: the first requester of a key
+// simulates; concurrent requesters block on done and share the outcome.
+type call struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// engine is the parallel simulation scheduler: it fans (configuration ×
+// benchmark) jobs across a bounded pool of worker slots, memoizes results
+// with single-flight semantics (a key in flight is never simulated twice,
+// even when requested concurrently), and publishes the progress stream.
+type engine struct {
+	ctx         context.Context
+	scale       kernels.Scale
+	parallelism int
+	slots       chan struct{} // worker-slot semaphore, cap == parallelism
+
+	mu    sync.Mutex
+	calls map[string]*call
+
+	progressMu sync.Mutex
+	progress   ProgressFunc
+}
+
+func newEngine(ctx context.Context, parallelism int, scale kernels.Scale, progress ProgressFunc) *engine {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &engine{
+		ctx:         ctx,
+		scale:       scale,
+		parallelism: parallelism,
+		slots:       make(chan struct{}, parallelism),
+		calls:       make(map[string]*call),
+		progress:    progress,
+	}
+}
+
+func (e *engine) emit(ev Event) {
+	if e.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.progress(ev)
+}
+
+// run returns the result for (b, c), simulating at most once per key for
+// the engine's lifetime. Concurrent requests for the same key join the
+// in-flight simulation. The output check always runs inside the job: an
+// experiment on a miscomputing simulator would be meaningless.
+func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+	cfgSig := sig(&c)
+	key := b.Name + "|" + cfgSig
+
+	e.mu.Lock()
+	if cl, ok := e.calls[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-cl.done:
+		case <-e.ctx.Done():
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
+		}
+		if cl.err == nil {
+			e.emit(Event{Kind: EventCacheHit, Benchmark: b.Name, Config: cfgSig, Cycles: cl.res.Cycles})
+		}
+		return cl.res, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	e.calls[key] = cl
+	e.mu.Unlock()
+
+	cl.res, cl.err = e.simulate(b, c, cfgSig)
+	close(cl.done)
+	return cl.res, cl.err
+}
+
+// simulate executes one job inside a worker slot.
+func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*sim.Result, error) {
+	select {
+	case e.slots <- struct{}{}:
+	case <-e.ctx.Done():
+		return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
+	}
+	defer func() { <-e.slots }()
+
+	e.emit(Event{Kind: EventJobStart, Benchmark: b.Name, Config: cfgSig})
+	start := time.Now()
+	res, err := e.runSim(b, c)
+	e.emit(Event{
+		Kind:      EventJobDone,
+		Benchmark: b.Name,
+		Config:    cfgSig,
+		Cycles:    cycles(res),
+		Elapsed:   time.Since(start),
+		Err:       err,
+	})
+	return res, err
+}
+
+// runSim builds and runs one benchmark under one configuration, validating
+// the simulated output against the host reference.
+func (e *engine) runSim(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+	g, err := sim.New(c)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := b.Build(g.Mem(), e.scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
+	}
+	res, err := g.RunContext(e.ctx, inst.Launch)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if err := inst.Check(g.Mem()); err != nil {
+		return nil, fmt.Errorf("%s: simulation produced wrong output: %w", b.Name, err)
+	}
+	return res, nil
+}
+
+func cycles(res *sim.Result) uint64 {
+	if res == nil {
+		return 0
+	}
+	return res.Cycles
+}
+
+// runAll fans one job per benchmark across the worker pool and returns the
+// results in benchmark order — the ordering contract that keeps parallel
+// runs byte-identical to sequential ones. With parallelism 1 the jobs are
+// dispatched inline in order, preserving the legacy sequential runner's
+// progress-line ordering exactly.
+func (e *engine) runAll(benches []*kernels.Benchmark, c sim.Config) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(benches))
+	if e.parallelism == 1 {
+		for i, b := range benches {
+			res, err := e.run(b, c)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b *kernels.Benchmark) {
+			defer wg.Done()
+			results[i], errs[i] = e.run(b, c)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// config is the resolved runner configuration functional options build up.
+type config struct {
+	scale       kernels.Scale
+	benchmarks  []string
+	parallelism int // 0 means GOMAXPROCS
+	progress    ProgressFunc
+	base        *sim.Config
+}
+
+// Option configures a Runner built with New.
+type Option func(*config)
+
+// WithScale selects the workload size (default Medium, the figure-quality
+// size).
+func WithScale(s kernels.Scale) Option {
+	return func(c *config) { c.scale = s }
+}
+
+// WithBenchmarks restricts the suite to the named benchmarks. Calling it
+// with no arguments restores the full suite.
+func WithBenchmarks(names ...string) Option {
+	return func(c *config) {
+		if len(names) == 0 {
+			c.benchmarks = nil
+			return
+		}
+		c.benchmarks = append([]string(nil), names...)
+	}
+}
+
+// WithParallelism bounds how many simulations run concurrently. n <= 0 (and
+// the default) means GOMAXPROCS. Results are deterministic at every
+// parallelism level: tables come out byte-identical to a sequential run.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithProgress installs a structured progress callback. Events are
+// serialized by the engine, so fn needs no locking. See Event.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithProgressWriter adapts the structured event stream to the legacy
+// line-per-simulation text format on w ("ran <bench> [<config>]
+// cycles=<n>"). Cache hits are not logged, matching the old behaviour.
+func WithProgressWriter(w io.Writer) Option {
+	return WithProgress(func(ev Event) {
+		if ev.Kind == EventJobDone && ev.Err == nil {
+			fmt.Fprintf(w, "ran %-12s [%s] cycles=%d\n", ev.Benchmark, ev.Config, ev.Cycles)
+		}
+	})
+}
+
+// WithBaseConfig overrides the hardware configuration the experiment
+// configurations are derived from (default sim.DefaultConfig). Compression
+// mode, gating, scheduler, latencies and characterization are overridden
+// per experiment on top of this base.
+func WithBaseConfig(base sim.Config) Option {
+	return func(c *config) {
+		b := base
+		c.base = &b
+	}
+}
+
+// New builds an experiment Runner. ctx governs every simulation the runner
+// schedules: canceling it makes in-flight and future runs return an error
+// wrapping ctx.Err() promptly (the simulator polls the context inside its
+// cycle loop). A nil ctx means context.Background().
+//
+//	r := experiments.New(ctx,
+//	    experiments.WithScale(kernels.Medium),
+//	    experiments.WithParallelism(runtime.GOMAXPROCS(0)),
+//	    experiments.WithProgress(func(ev experiments.Event) { ... }))
+//	tables, err := r.RunAll()
+func New(ctx context.Context, opts ...Option) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Runner{
+		cfg: c,
+		eng: newEngine(ctx, c.parallelism, c.scale, c.progress),
+	}
+}
+
+// Options selects what the legacy runner simulates.
+//
+// Deprecated: Options exists only so pre-engine callers keep compiling.
+// Use New with functional options instead.
+type Options struct {
+	// Scale is the workload size (default Medium, the figure-quality size).
+	Scale kernels.Scale
+	// Benchmarks restricts the suite; nil means all.
+	Benchmarks []string
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress io.Writer
+	// Base overrides the hardware configuration the experiment configs are
+	// derived from (zero value means sim.DefaultConfig).
+	Base *sim.Config
+}
+
+// NewRunner builds a Runner from legacy Options. It preserves the old
+// sequential behaviour exactly (parallelism 1, deterministic progress-line
+// order) and never cancels.
+//
+// Deprecated: use New with functional options.
+func NewRunner(opts Options) *Runner {
+	o := []Option{WithScale(opts.Scale), WithParallelism(1)}
+	if opts.Benchmarks != nil {
+		o = append(o, WithBenchmarks(opts.Benchmarks...))
+	}
+	if opts.Progress != nil {
+		o = append(o, WithProgressWriter(opts.Progress))
+	}
+	if opts.Base != nil {
+		o = append(o, WithBaseConfig(*opts.Base))
+	}
+	return New(context.Background(), o...)
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"sort"
 
 	"repro/internal/core"
@@ -10,41 +9,27 @@ import (
 	"repro/internal/sim"
 )
 
-// Options selects what the runner simulates.
-type Options struct {
-	// Scale is the workload size (default Medium, the figure-quality size).
-	Scale kernels.Scale
-	// Benchmarks restricts the suite; nil means all 20.
-	Benchmarks []string
-	// Progress, when non-nil, receives one line per simulation run.
-	Progress io.Writer
-	// Base overrides the hardware configuration the experiment configs are
-	// derived from (zero value means sim.DefaultConfig). Compression mode,
-	// gating, scheduler, latencies and characterization are overridden per
-	// experiment on top of this.
-	Base *sim.Config
-}
-
-// Runner executes benchmarks under experiment configurations, memoizing
-// results so shared configurations (e.g. the default warped-compression run
-// used by Figs 8-13) simulate only once.
+// Runner executes benchmarks under experiment configurations on the
+// parallel engine, memoizing results so shared configurations (e.g. the
+// default warped-compression run used by Figs 8-13) simulate only once —
+// even when several exhibits request them concurrently. Build one with New
+// (or the deprecated NewRunner shim).
 type Runner struct {
-	opts  Options
-	cache map[string]*sim.Result
+	cfg config
+	eng *engine
 }
 
-// NewRunner builds a Runner.
-func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*sim.Result)}
-}
+// Parallelism reports how many simulations the runner may execute
+// concurrently.
+func (r *Runner) Parallelism() int { return r.eng.parallelism }
 
 // benchmarks resolves the benchmark list.
 func (r *Runner) benchmarks() ([]*kernels.Benchmark, error) {
-	if r.opts.Benchmarks == nil {
+	if r.cfg.benchmarks == nil {
 		return kernels.All(), nil
 	}
 	var out []*kernels.Benchmark
-	for _, name := range r.opts.Benchmarks {
+	for _, name := range r.cfg.benchmarks {
 		b, ok := kernels.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q (have %v)", name, kernels.Names())
@@ -57,8 +42,8 @@ func (r *Runner) benchmarks() ([]*kernels.Benchmark, error) {
 
 // baseConfig returns the hardware configuration experiments start from.
 func (r *Runner) baseConfig() sim.Config {
-	if r.opts.Base != nil {
-		return *r.opts.Base
+	if r.cfg.base != nil {
+		return *r.cfg.base
 	}
 	return sim.DefaultConfig()
 }
@@ -120,52 +105,49 @@ func sig(c *sim.Config) string {
 		fmt.Sprintf(" rfc%d drw%d", c.RFCEntries, c.DrowsyAfter)
 }
 
-// run simulates one benchmark under one configuration (memoized). The
-// output check always runs: an experiment on a miscomputing simulator would
-// be meaningless.
+// run simulates one benchmark under one configuration through the engine's
+// single-flight memo cache.
 func (r *Runner) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
-	key := b.Name + "|" + sig(&c)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	g, err := sim.New(c)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := b.Build(g.Mem(), r.opts.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
-	}
-	res, err := g.Run(inst.Launch)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	if err := inst.Check(g.Mem()); err != nil {
-		return nil, fmt.Errorf("%s: simulation produced wrong output: %w", b.Name, err)
-	}
-	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, "ran %-12s [%s] cycles=%d\n", b.Name, sig(&c), res.Cycles)
-	}
-	r.cache[key] = res
-	return res, nil
+	return r.eng.run(b, c)
 }
 
-// forEach runs every selected benchmark under config c and calls fn.
+// forEach runs every selected benchmark under config c in parallel across
+// the engine's worker pool, then calls fn once per benchmark in name order.
+// The sequential fn pass is the determinism contract: exhibit tables are
+// assembled in the same order at every parallelism level.
 func (r *Runner) forEach(c sim.Config, fn func(b *kernels.Benchmark, res *sim.Result) error) error {
 	benches, err := r.benchmarks()
 	if err != nil {
 		return err
 	}
-	for _, b := range benches {
-		res, err := r.run(b, c)
-		if err != nil {
-			return err
-		}
-		if err := fn(b, res); err != nil {
+	results, err := r.eng.runAll(benches, c)
+	if err != nil {
+		return err
+	}
+	for i, b := range benches {
+		if err := fn(b, results[i]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// prefetch schedules every selected benchmark under each config without
+// waiting for results, warming the memo cache so subsequent forEach passes
+// over the same configs run fully parallel instead of config-by-config.
+// Errors are deliberately ignored here: the forEach that consumes a result
+// reports them. No-op at parallelism 1.
+func (r *Runner) prefetch(cfgs ...sim.Config) {
+	if r.eng.parallelism == 1 {
+		return
+	}
+	benches, err := r.benchmarks()
+	if err != nil {
+		return
+	}
+	for _, c := range cfgs {
+		go func(c sim.Config) { _, _ = r.eng.runAll(benches, c) }(c)
+	}
 }
 
 // exhibit describes one regenerable table/figure.
@@ -233,8 +215,13 @@ func (r *Runner) Run(id string) (*Table, error) {
 	return nil, fmt.Errorf("experiments: unknown exhibit %q (have %v)", id, IDs())
 }
 
-// RunAll regenerates every exhibit in paper order.
+// RunAll regenerates every exhibit in paper order. The memo cache is shared
+// across exhibits, so each distinct (benchmark, configuration) pair
+// simulates exactly once for the whole set.
 func (r *Runner) RunAll() ([]*Table, error) {
+	// Warm the cache with the two configurations nearly every exhibit
+	// shares, so the first exhibits already run at full width.
+	r.prefetch(r.cfgBaseline(), r.cfgWarped())
 	var out []*Table
 	for _, e := range exhibits {
 		t, err := e.run(r)

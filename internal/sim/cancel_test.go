@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// spinLaunch builds a counted-loop kernel (iters iterations per thread) so a
+// launch takes a controllable number of cycles — long runs guarantee the
+// cycle loop crosses many cancellation checkpoints.
+func spinLaunch(t *testing.T, iters int) (*GPU, isa.Launch) {
+	t.Helper()
+	c := testConfig()
+	c.MaxCycles = 2_000_000_000
+	g, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src := fmt.Sprintf(`
+	mov  r0, 0
+Lloop:
+	add  r0, r0, 1
+	setp.lt p0, r0, %d
+@p0	bra Lloop
+	exit
+`, iters)
+	k, err := asm.Assemble("spin", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return g, isa.Launch{Kernel: k, Grid: isa.Dim3{X: 4}, Block: isa.Dim3{X: 64}}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	g, l := spinLaunch(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.RunContext(ctx, l); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RunContext err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	g, l := spinLaunch(t, 2_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := g.RunContext(ctx, l)
+		done <- err
+	}()
+	// Let the simulation get going, then pull the plug.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			// The kernel finished before the cancel landed; that is a
+			// legitimate race on a fast machine, but the spin kernel is
+			// sized to make it effectively impossible.
+			t.Fatal("launch completed despite cancellation")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cancellation not honored within 10s (started %v ago)", time.Since(start))
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	g, l := spinLaunch(t, 2_000_000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := g.RunContext(ctx, l); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun checks the cancellation plumbing does
+// not perturb simulation results.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	g1, l1 := spinLaunch(t, 2000)
+	r1, err := g1.Run(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, l2 := spinLaunch(t, 2000)
+	r2, err := g2.RunContext(context.Background(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("Run=%d cycles, RunContext=%d cycles", r1.Cycles, r2.Cycles)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfg"
@@ -44,10 +45,31 @@ type Result struct {
 	Energy energy.Events
 }
 
+// cancelCheckInterval is how often (in simulated cycles) the cycle loop
+// polls the context. 4096 cycles keeps the check off the hot path (one
+// branch per ~4k cycles) while bounding cancellation latency to well under a
+// millisecond of wall time.
+const cancelCheckInterval = 4096
+
 // Run simulates one kernel launch to completion and returns the aggregated
 // statistics of all SMs. The same GPU may run several launches in sequence;
 // global memory persists across launches (as on a real device).
 func (g *GPU) Run(l isa.Launch) (*Result, error) {
+	return g.RunContext(context.Background(), l)
+}
+
+// RunContext is Run with cancellation: the cycle loop polls ctx every
+// cancelCheckInterval cycles and aborts the simulation with an error
+// wrapping ctx.Err() (context.Canceled or context.DeadlineExceeded). The
+// GPU's SM state is left mid-launch and must be considered dirty; device
+// global memory remains readable.
+func (g *GPU) RunContext(ctx context.Context, l isa.Launch) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: launch not started: %w", err)
+	}
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,6 +117,11 @@ func (g *GPU) Run(l isa.Launch) (*Result, error) {
 			break
 		}
 		cycle++
+		if cycle%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: canceled at cycle %d: %w", cycle, err)
+			}
+		}
 		if cycle > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock or runaway kernel?)", g.cfg.MaxCycles)
 		}

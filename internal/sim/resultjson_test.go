@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// resultFixture returns a Result with every counter populated with a
+// distinct value, so a round-trip that drops any field fails loudly.
+func resultFixture(t *testing.T) *Result {
+	t.Helper()
+	g, l := spinLaunch(t, 500)
+	res, err := g.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the counters the spin kernel cannot exercise.
+	res.Stats.RFCReads = 11
+	res.Stats.RFCReadMisses = 12
+	res.Stats.RFCWrites = 13
+	res.Stats.RFCEvictions = 14
+	res.Stats.CensusCompressed[0] = 1.25
+	res.Stats.CensusCompressed[1] = 2.5
+	res.Energy.RFCAccesses = 15
+	res.Energy.RFCKB = 36
+	return res
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := resultFixture(t)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != res.Cycles {
+		t.Fatalf("cycles %d != %d", back.Cycles, res.Cycles)
+	}
+	if back.Stats != res.Stats {
+		t.Fatalf("stats round-trip mismatch:\n got %+v\nwant %+v", back.Stats, res.Stats)
+	}
+	if back.Energy != res.Energy {
+		t.Fatalf("energy round-trip mismatch:\n got %+v\nwant %+v", back.Energy, res.Energy)
+	}
+	// Marshaling the round-tripped value must be byte-identical.
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("re-marshaled document differs")
+	}
+}
+
+// TestResultJSONStableKeys pins the schema identifier and the top-level and
+// headline key names: renaming any of these is a breaking change that
+// requires a schema version bump.
+func TestResultJSONStableKeys(t *testing.T) {
+	data, err := json.Marshal(resultFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != "warped.sim.result/v1" {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+	for _, key := range []string{"schema", "cycles", "stats", "energy_events"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("missing top-level key %q", key)
+		}
+	}
+	stats, ok := doc["stats"].(map[string]any)
+	if !ok {
+		t.Fatal("stats is not an object")
+	}
+	for _, key := range []string{
+		"instructions", "divergent_instructions", "dummy_movs",
+		"write_bins", "bdi_choices", "reg_writes", "write_orig_banks",
+		"write_comp_banks", "writes_by_encoding", "census_samples",
+		"census_compressed", "register_file", "compressor_activations",
+		"decompressor_activations", "rfc_reads", "rfc_read_misses",
+		"rfc_writes", "rfc_evictions", "global_transactions",
+		"shared_accesses", "l1_hits", "l1_misses", "stall_scoreboard",
+		"stall_collector", "stall_compressor", "stall_wakeup",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("missing stats key %q", key)
+		}
+	}
+	ev, ok := doc["energy_events"].(map[string]any)
+	if !ok {
+		t.Fatal("energy_events is not an object")
+	}
+	for _, key := range []string{
+		"bank_accesses", "wire_beats", "compressor_activations",
+		"decompressor_activations", "rfc_accesses", "rfc_kb",
+		"powered_bank_cycles", "drowsy_bank_cycles", "cycles",
+		"compressor_units", "decompressor_units",
+	} {
+		if _, ok := ev[key]; !ok {
+			t.Fatalf("missing energy_events key %q", key)
+		}
+	}
+}
+
+func TestResultJSONRejectsUnknownSchema(t *testing.T) {
+	var r Result
+	err := json.Unmarshal([]byte(`{"schema":"warped.sim.result/v0","cycles":1}`), &r)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("v0 schema accepted: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`{"cycles":1}`), &r); err == nil {
+		t.Fatal("schema-less document accepted")
+	}
+}

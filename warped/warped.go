@@ -22,6 +22,9 @@
 package warped
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -88,8 +91,13 @@ type Config = sim.Config
 // GPU is the simulated device.
 type GPU = sim.GPU
 
-// Result is the outcome of one kernel launch.
+// Result is the outcome of one kernel launch. It marshals to (and
+// unmarshals from) the versioned JSON encoding identified by ResultSchema.
 type Result = sim.Result
+
+// ResultSchema identifies the stable, versioned JSON encoding of Result
+// (see DESIGN.md §"Result JSON schema").
+const ResultSchema = sim.ResultSchema
 
 // Stats are the per-launch counters every figure derives from.
 type Stats = stats.Stats
@@ -173,22 +181,85 @@ func BenchmarkByName(name string) (*Benchmark, bool) { return kernels.ByName(nam
 
 // --- Experiments (paper tables and figures) ---
 
-// ExperimentOptions configures an experiment runner.
-type ExperimentOptions = experiments.Options
-
-// ExperimentRunner regenerates paper exhibits with memoized simulations.
+// ExperimentRunner regenerates paper exhibits on the parallel engine:
+// (configuration × benchmark) simulation jobs fan out across a worker pool
+// with a single-flight memo cache, so shared configurations simulate
+// exactly once and tables come out byte-identical at every parallelism
+// level.
 type ExperimentRunner = experiments.Runner
+
+// ExperimentOption configures an ExperimentRunner built with
+// NewExperiments.
+type ExperimentOption = experiments.Option
+
+// ExperimentEvent is one structured progress record: per-job start/finish,
+// simulated cycles, wall time and cache hits.
+type ExperimentEvent = experiments.Event
+
+// ExperimentEventKind classifies an ExperimentEvent.
+type ExperimentEventKind = experiments.EventKind
+
+// Experiment progress event kinds.
+const (
+	ExperimentJobStart = experiments.EventJobStart
+	ExperimentJobDone  = experiments.EventJobDone
+	ExperimentCacheHit = experiments.EventCacheHit
+)
 
 // Table is one regenerated table/figure.
 type Table = experiments.Table
 
-// NewExperimentRunner builds a runner.
-func NewExperimentRunner(opts ExperimentOptions) *ExperimentRunner {
-	return experiments.NewRunner(opts)
+// NewExperiments builds an experiment runner. ctx governs every simulation
+// it schedules: cancel it (or let its deadline expire) and in-flight runs
+// abort promptly with an error wrapping ctx.Err().
+//
+//	r := warped.NewExperiments(ctx,
+//	    warped.WithScale(warped.Medium),
+//	    warped.WithParallelism(0), // 0 = GOMAXPROCS
+//	    warped.WithProgress(func(ev warped.ExperimentEvent) { ... }))
+//	tables, err := r.RunAll()
+func NewExperiments(ctx context.Context, opts ...ExperimentOption) *ExperimentRunner {
+	return experiments.New(ctx, opts...)
 }
+
+// WithScale selects the workload size (default Medium).
+func WithScale(s Scale) ExperimentOption { return experiments.WithScale(s) }
+
+// WithBenchmarks restricts the suite to the named benchmarks; no arguments
+// restores the full suite.
+func WithBenchmarks(names ...string) ExperimentOption { return experiments.WithBenchmarks(names...) }
+
+// WithParallelism bounds concurrent simulations; n <= 0 means GOMAXPROCS.
+func WithParallelism(n int) ExperimentOption { return experiments.WithParallelism(n) }
+
+// WithProgress installs a structured progress callback (calls are
+// serialized; fn needs no locking).
+func WithProgress(fn func(ExperimentEvent)) ExperimentOption {
+	return experiments.WithProgress(fn)
+}
+
+// WithProgressWriter logs one text line per completed simulation to w
+// (the legacy progress format).
+func WithProgressWriter(w io.Writer) ExperimentOption { return experiments.WithProgressWriter(w) }
+
+// WithBaseConfig overrides the hardware configuration experiments derive
+// their per-exhibit configurations from.
+func WithBaseConfig(base Config) ExperimentOption { return experiments.WithBaseConfig(base) }
 
 // ExperimentIDs lists every regenerable exhibit (table1..3, fig2..fig21).
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExperimentTitle returns an exhibit's caption.
 func ExperimentTitle(id string) (string, bool) { return experiments.Title(id) }
+
+// ExperimentOptions configures a legacy experiment runner.
+//
+// Deprecated: use NewExperiments with functional options.
+type ExperimentOptions = experiments.Options
+
+// NewExperimentRunner builds a sequential runner from legacy options.
+//
+// Deprecated: use NewExperiments with functional options.
+func NewExperimentRunner(opts ExperimentOptions) *ExperimentRunner {
+	return experiments.NewRunner(opts)
+}
