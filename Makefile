@@ -8,13 +8,17 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 gate (see ROADMAP.md): static analysis plus the full
-# test suite under the race detector. The parallel experiment engine is
-# exercised concurrently by its own tests, so -race is load-bearing here,
-# not ceremonial.
+# verify is the tier-1 gate (see ROADMAP.md): static analysis, the full
+# test suite under the race detector, and short-budget fuzz passes over the
+# parser-shaped surfaces (assembler, BDI codec, fault injector). The
+# parallel experiment engine is exercised concurrently by its own tests, so
+# -race is load-bearing here, not ceremonial.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=3s ./internal/asm
+	$(GO) test -run=^$$ -fuzz=FuzzBDIRoundTrip -fuzztime=3s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
 
 bench:
 	$(GO) test -bench=. -benchmem .

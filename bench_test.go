@@ -191,11 +191,14 @@ func benchSuite(b *testing.B, parallelism int) {
 	base := sim.DefaultConfig()
 	base.NumSMs = 4
 	for i := 0; i < b.N; i++ {
-		r := experiments.New(context.Background(),
+		r, err := experiments.New(context.Background(),
 			experiments.WithScale(kernels.Medium),
 			experiments.WithBenchmarks("backprop", "bfs", "hotspot", "kmeans", "lud", "nw", "pathfinder", "srad"),
 			experiments.WithParallelism(parallelism),
 			experiments.WithBaseConfig(base))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := r.Run("fig9"); err != nil {
 			b.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 //	warpedbench -exp fig9,fig13 -v       # headline results with progress
 //	warpedbench -exp fig8 -benchmarks bfs,lib -scale small
 //	warpedbench -parallel 4 -timeout 30m # bounded workers and wall time
+//	warpedbench -keep-going -watchdog 2m # partial results + failure report
 package main
 
 import (
@@ -34,6 +35,10 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or csv")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
+		backoff  = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling each retry (default 100ms)")
+		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
+		keepOn   = flag.Bool("keep-going", false, "don't stop at the first failure: emit every healthy exhibit plus a failure report (exit 1 if anything failed)")
 		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
@@ -46,7 +51,14 @@ func main() {
 		defer cancel()
 	}
 
-	opts := []warped.ExperimentOption{warped.WithParallelism(*parallel)}
+	opts := []warped.ExperimentOption{
+		warped.WithParallelism(*parallel),
+		warped.WithRetries(*retries),
+		warped.WithWatchdog(*watchdog),
+	}
+	if *backoff > 0 {
+		opts = append(opts, warped.WithRetryBackoff(*backoff))
+	}
 	switch *scale {
 	case "small":
 		opts = append(opts, warped.WithScale(warped.Small))
@@ -79,7 +91,30 @@ func main() {
 		ids = strings.Split(*exps, ",")
 	}
 
-	r := warped.NewExperiments(ctx, opts...)
+	r, err := warped.NewExperiments(ctx, opts...)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *keepOn {
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+		rep, err := r.RunPartial(ids...)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, t := range rep.Tables {
+			render(w, t, *format)
+			fmt.Fprintln(w)
+		}
+		if rep.Failed() {
+			fmt.Fprint(os.Stderr, rep.Render())
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, id := range ids {
 		t, err := r.Run(strings.TrimSpace(id))
 		if err != nil {
@@ -88,19 +123,24 @@ func main() {
 			}
 			fatal("%s: %v", id, err)
 		}
-		switch *format {
-		case "text":
-			err = t.Render(w)
-		case "csv":
-			fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
-			err = t.RenderCSV(w)
-		default:
-			fatal("unknown format %q", *format)
-		}
-		if err != nil {
-			fatal("%v", err)
-		}
+		render(w, t, *format)
 		fmt.Fprintln(w)
+	}
+}
+
+func render(w io.Writer, t *warped.Table, format string) {
+	var err error
+	switch format {
+	case "text":
+		err = t.Render(w)
+	case "csv":
+		fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+		err = t.RenderCSV(w)
+	default:
+		fatal("unknown format %q", format)
+	}
+	if err != nil {
+		fatal("%v", err)
 	}
 }
 
@@ -115,6 +155,8 @@ func progress(ev warped.ExperimentEvent) {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "done  %-12s cycles=%-10d %v\n", ev.Benchmark, ev.Cycles, ev.Elapsed.Round(time.Millisecond))
+	case warped.ExperimentJobRetry:
+		fmt.Fprintf(os.Stderr, "retry %-12s attempt %d failed: %v\n", ev.Benchmark, ev.Attempt+1, ev.Err)
 	case warped.ExperimentCacheHit:
 		fmt.Fprintf(os.Stderr, "hit   %-12s [%s]\n", ev.Benchmark, ev.Config)
 	}

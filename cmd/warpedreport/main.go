@@ -103,6 +103,8 @@ func main() {
 		full     = flag.Bool("tables", false, "append the full per-benchmark tables after the summary")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
+		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
 		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
@@ -116,7 +118,11 @@ func main() {
 	}
 
 	var benchList []string
-	opts := []warped.ExperimentOption{warped.WithParallelism(*parallel)}
+	opts := []warped.ExperimentOption{
+		warped.WithParallelism(*parallel),
+		warped.WithRetries(*retries),
+		warped.WithWatchdog(*watchdog),
+	}
 	switch *scale {
 	case "small":
 		opts = append(opts, warped.WithScale(warped.Small))
@@ -150,7 +156,10 @@ func main() {
 		w = f
 	}
 
-	r := warped.NewExperiments(ctx, opts...)
+	r, err := warped.NewExperiments(ctx, opts...)
+	if err != nil {
+		fatal("%v", err)
+	}
 	fmt.Fprintf(w, "# Warped-Compression: paper vs. measured (%s scale, %d benchmarks)\n\n",
 		*scale, benchCount(benchList))
 	fmt.Fprintln(w, "| Exhibit | Quantity | Paper | Measured |")

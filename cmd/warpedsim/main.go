@@ -8,6 +8,7 @@
 //	warpedsim -bench bfs -mode off -scheduler lrr -scale large
 //	warpedsim -asm kernel.s -grid 30 -block 256
 //	warpedsim -bench srad -compare -parallel -timeout 5m
+//	warpedsim -bench bfs -inject seed=42,stuck=2,redirect
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "with -compare, simulate the baseline concurrently")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "emit the run result as versioned JSON ("+warped.ResultSchema+") instead of the text summary")
+		inject   = flag.String("inject", "", "inject register-file faults, e.g. seed=42,stuck=2,transient=100,redirect (stuck = stuck-at banks/SM, transient = bit flips per million writes, redirect = RRCD remapping)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,16 @@ func main() {
 	default:
 		fatal("unknown mode %q", *mode)
 	}
+	if *inject != "" {
+		fc, err := warped.ParseFaultSpec(*inject)
+		if err != nil {
+			fatal("-inject: %v", err)
+		}
+		cfg.Faults = fc
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal("%v", err)
+	}
 
 	var sc warped.Scale
 	switch *scale {
@@ -96,7 +108,10 @@ func main() {
 		baseRes <-chan runOutcome
 		base    = cfg
 	)
+	// RRCD redirection needs compression; the uncompressed baseline keeps
+	// the same stuck banks but cannot remap around them.
 	base.Mode, base.PowerGating = warped.ModeOff, false
+	base.Faults.Redirect = false
 	if *compare && *parallel {
 		ch := make(chan runOutcome, 1)
 		go func() {
@@ -108,6 +123,11 @@ func main() {
 
 	res, err := runOnce(ctx, cfg, *bench, *asmFile, sc, *grid, *block)
 	if err != nil {
+		if cfg.Faults.Enabled() {
+			// A corrupted address or loop register usually kills the
+			// launch outright — that IS the experiment's result.
+			fatal("kernel crashed under injected faults (%s): %v", cfg.Faults.String(), err)
+		}
 		fatal("%v", err)
 	}
 	if *jsonOut {
@@ -184,6 +204,12 @@ func runOnce(ctx context.Context, cfg warped.Config, bench, asmFile string, sc w
 			return nil, err
 		}
 		if err := inst.Check(gpu.Mem()); err != nil {
+			// Injected faults are expected to corrupt kernels: report the
+			// miscomputation but still show what it cost.
+			if cfg.Faults.Enabled() {
+				fmt.Fprintf(os.Stderr, "warpedsim: output INCORRECT under injected faults: %v\n", err)
+				return res, nil
+			}
 			return nil, fmt.Errorf("output validation failed: %w", err)
 		}
 		return res, nil
@@ -223,6 +249,12 @@ func printSummary(res *warped.Result) {
 	e := warped.ComputeEnergy(warped.DefaultEnergyParams(), res.Energy)
 	fmt.Printf("RF energy           %.1f uJ (dyn %.1f, leak %.1f, comp %.1f, decomp %.1f)\n",
 		e.TotalPJ()/1e6, e.DynamicPJ/1e6, e.LeakagePJ/1e6, e.CompressPJ/1e6, e.DecompressPJ/1e6)
+	if s.FaultStuckWrites > 0 || s.FaultTransientFlips > 0 || s.RF.RedirectedWrites > 0 {
+		fmt.Printf("injected faults     %d stuck-bank writes (%d lanes corrupted), %d transient flips\n",
+			s.FaultStuckWrites, s.FaultCorruptedLanes, s.FaultTransientFlips)
+		fmt.Printf("RRCD redirections   %d compressed writes steered around faulty banks\n",
+			s.RF.RedirectedWrites)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -24,7 +24,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
-	runner := warped.NewExperiments(ctx,
+	runner, err := warped.NewExperiments(ctx,
 		warped.WithScale(warped.Small),
 		warped.WithBenchmarks("bfs", "hotspot", "pathfinder"),
 		warped.WithParallelism(0), // 0 = GOMAXPROCS
@@ -42,6 +42,9 @@ func main() {
 				fmt.Printf("  hit   %-12s (memoized)\n", ev.Benchmark)
 			}
 		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Fig 8 (compression ratio) and Fig 11 (dummy-MOV overhead) share the
 	// warped configuration: the second exhibit is served entirely from the

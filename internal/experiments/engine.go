@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kernels"
@@ -16,15 +18,19 @@ type EventKind int
 
 const (
 	// EventJobStart fires when a (benchmark, configuration) simulation is
-	// dispatched to a worker slot.
+	// dispatched to a worker slot (once per attempt).
 	EventJobStart EventKind = iota
-	// EventJobDone fires when that simulation finishes; Err is set on
-	// failure, Cycles and Elapsed on success.
+	// EventJobDone fires when that simulation attempt finishes; Err is set
+	// on failure, Cycles and Elapsed on success.
 	EventJobDone
 	// EventCacheHit fires when a request is served from the memo cache
 	// (including requests that joined an in-flight simulation of the same
 	// key and waited for it).
 	EventCacheHit
+	// EventJobRetry fires between a transient failure and the next attempt,
+	// after the backoff delay has been decided; Attempt is the attempt that
+	// just failed (0-based), Err its failure.
+	EventJobRetry
 )
 
 func (k EventKind) String() string {
@@ -35,21 +41,24 @@ func (k EventKind) String() string {
 		return "done"
 	case EventCacheHit:
 		return "cache-hit"
+	case EventJobRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
 // Event is one structured progress record. It replaces the former
 // io.Writer progress lines: consumers get per-job start/finish, simulated
-// cycle counts, wall time and cache hits, keyed by benchmark name and the
-// configuration's memo signature.
+// cycle counts, wall time, retries and cache hits, keyed by benchmark name
+// and the configuration's memo signature.
 type Event struct {
 	Kind      EventKind
 	Benchmark string
 	Config    string        // memoization signature of the configuration
+	Attempt   int           // 0-based attempt number (nonzero only with retries)
 	Cycles    uint64        // simulated cycles (EventJobDone, EventCacheHit)
 	Elapsed   time.Duration // simulation wall time (EventJobDone)
-	Err       error         // failure, if any (EventJobDone)
+	Err       error         // failure, if any (EventJobDone, EventJobRetry)
 }
 
 // ProgressFunc receives progress events. The engine serializes calls: a
@@ -65,15 +74,39 @@ type call struct {
 	err  error
 }
 
+// outcome is what one job attempt delivers over its result channel.
+type outcome struct {
+	res *sim.Result
+	err error
+}
+
+// stallGrace is how long the watchdog waits, after canceling a stalled
+// job's context, for the job goroutine to acknowledge before abandoning
+// it. A stalled simulation observes cancellation within one checkpoint
+// interval; only a job wedged outside the cycle loop (e.g. a hung Build)
+// outlives this and is left to finish into its buffered channel.
+const stallGrace = 250 * time.Millisecond
+
 // engine is the parallel simulation scheduler: it fans (configuration ×
 // benchmark) jobs across a bounded pool of worker slots, memoizes results
 // with single-flight semantics (a key in flight is never simulated twice,
-// even when requested concurrently), and publishes the progress stream.
+// even when requested concurrently), isolates per-job panics, retries
+// transient failures with exponential backoff, cancels jobs that stop
+// making forward progress, and publishes the progress stream.
 type engine struct {
 	ctx         context.Context
 	scale       kernels.Scale
 	parallelism int
 	slots       chan struct{} // worker-slot semaphore, cap == parallelism
+
+	retries  int           // extra attempts after the first, transient failures only
+	backoff  time.Duration // first retry delay; doubles per attempt
+	watchdog time.Duration // progress deadline; 0 disables the watchdog
+
+	// runJob executes one attempt. It is a field (not a method call) purely
+	// as a test seam: robustness tests substitute stalling or flaky jobs
+	// without touching the benchmark registry.
+	runJob func(ctx context.Context, b *kernels.Benchmark, c sim.Config, beat *atomic.Uint64) (*sim.Result, error)
 
 	mu    sync.Mutex
 	calls map[string]*call
@@ -86,14 +119,17 @@ func newEngine(ctx context.Context, parallelism int, scale kernels.Scale, progre
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &engine{
+	e := &engine{
 		ctx:         ctx,
 		scale:       scale,
 		parallelism: parallelism,
 		slots:       make(chan struct{}, parallelism),
+		backoff:     100 * time.Millisecond,
 		calls:       make(map[string]*call),
 		progress:    progress,
 	}
+	e.runJob = e.runSim
+	return e
 }
 
 func (e *engine) emit(ev Event) {
@@ -107,7 +143,8 @@ func (e *engine) emit(ev Event) {
 
 // run returns the result for (b, c), simulating at most once per key for
 // the engine's lifetime. Concurrent requests for the same key join the
-// in-flight simulation. The output check always runs inside the job: an
+// in-flight simulation. On ErrOutputMismatch the result is returned
+// alongside the error. The output check always runs inside the job: an
 // experiment on a miscomputing simulator would be meaningless.
 func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	cfgSig := sig(&c)
@@ -122,7 +159,7 @@ func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 			return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
 		}
 		if cl.err == nil {
-			e.emit(Event{Kind: EventCacheHit, Benchmark: b.Name, Config: cfgSig, Cycles: cl.res.Cycles})
+			e.emit(Event{Kind: EventCacheHit, Benchmark: b.Name, Config: cfgSig, Cycles: cycles(cl.res)})
 		}
 		return cl.res, cl.err
 	}
@@ -135,7 +172,9 @@ func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	return cl.res, cl.err
 }
 
-// simulate executes one job inside a worker slot.
+// simulate executes one job inside a worker slot, retrying transient
+// failures up to the engine's retry budget with exponential backoff. Any
+// failure is wrapped in a *JobError carrying the job's identity.
 func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*sim.Result, error) {
 	select {
 	case e.slots <- struct{}{}:
@@ -144,23 +183,101 @@ func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*s
 	}
 	defer func() { <-e.slots }()
 
-	e.emit(Event{Kind: EventJobStart, Benchmark: b.Name, Config: cfgSig})
-	start := time.Now()
-	res, err := e.runSim(b, c)
-	e.emit(Event{
-		Kind:      EventJobDone,
-		Benchmark: b.Name,
-		Config:    cfgSig,
-		Cycles:    cycles(res),
-		Elapsed:   time.Since(start),
-		Err:       err,
-	})
+	var res *sim.Result
+	var err error
+	attempt := 0
+	for ; ; attempt++ {
+		e.emit(Event{Kind: EventJobStart, Benchmark: b.Name, Config: cfgSig, Attempt: attempt})
+		start := time.Now()
+		res, err = e.attempt(b, c)
+		e.emit(Event{
+			Kind:      EventJobDone,
+			Benchmark: b.Name,
+			Config:    cfgSig,
+			Attempt:   attempt,
+			Cycles:    cycles(res),
+			Elapsed:   time.Since(start),
+			Err:       err,
+		})
+		if err == nil || attempt >= e.retries || !IsTransient(err) || e.ctx.Err() != nil {
+			break
+		}
+		e.emit(Event{Kind: EventJobRetry, Benchmark: b.Name, Config: cfgSig, Attempt: attempt, Err: err})
+		delay := e.backoff << attempt
+		select {
+		case <-time.After(delay):
+		case <-e.ctx.Done():
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
+		}
+	}
+	if err != nil {
+		err = &JobError{Benchmark: b.Name, Config: cfgSig, Attempts: attempt + 1, Err: err}
+	}
 	return res, err
 }
 
+// attempt runs one isolated job attempt: the job executes in its own
+// goroutine so a panic is recovered into a *PanicError, and — when the
+// watchdog is armed — a monitor cancels the attempt if the simulation's
+// instruction heartbeat stops advancing for a full deadline window.
+func (e *engine) attempt(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+	ctx := e.ctx
+	cancel := context.CancelFunc(func() {})
+	if e.watchdog > 0 {
+		ctx, cancel = context.WithCancel(e.ctx)
+	}
+	defer cancel()
+
+	beat := new(atomic.Uint64)
+	// Buffered so an abandoned (wedged, uncancelable) job can still
+	// deliver its eventual outcome without leaking a blocked goroutine.
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- outcome{nil, &PanicError{Value: v, Stack: debug.Stack()}}
+			}
+		}()
+		res, err := e.runJob(ctx, b, c, beat)
+		done <- outcome{res, err}
+	}()
+
+	if e.watchdog <= 0 {
+		o := <-done
+		return o.res, o.err
+	}
+
+	ticker := time.NewTicker(e.watchdog)
+	defer ticker.Stop()
+	last := beat.Load()
+	for {
+		select {
+		case o := <-done:
+			return o.res, o.err
+		case <-ticker.C:
+			cur := beat.Load()
+			if cur != last {
+				last = cur
+				continue
+			}
+			// No instruction issued for a full window: the simulation is
+			// deadlocked (cycles may still be burning). Cancel and give
+			// the goroutine a short grace to acknowledge.
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(stallGrace):
+			}
+			return nil, &StallError{Deadline: e.watchdog, LastBeat: cur}
+		}
+	}
+}
+
 // runSim builds and runs one benchmark under one configuration, validating
-// the simulated output against the host reference.
-func (e *engine) runSim(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+// the simulated output against the host reference. A mismatch returns the
+// result *and* an error wrapping ErrOutputMismatch, so fault experiments
+// can still read the run's counters.
+func (e *engine) runSim(ctx context.Context, b *kernels.Benchmark, c sim.Config, beat *atomic.Uint64) (*sim.Result, error) {
 	g, err := sim.New(c)
 	if err != nil {
 		return nil, err
@@ -169,12 +286,12 @@ func (e *engine) runSim(b *kernels.Benchmark, c sim.Config) (*sim.Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
 	}
-	res, err := g.RunContext(e.ctx, inst.Launch)
+	res, err := g.RunContextBeat(ctx, inst.Launch, beat)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	if err := inst.Check(g.Mem()); err != nil {
-		return nil, fmt.Errorf("%s: simulation produced wrong output: %w", b.Name, err)
+		return res, fmt.Errorf("%s: %w: %w", b.Name, ErrOutputMismatch, err)
 	}
 	return res, nil
 }
@@ -187,23 +304,19 @@ func cycles(res *sim.Result) uint64 {
 }
 
 // runAll fans one job per benchmark across the worker pool and returns the
-// results in benchmark order — the ordering contract that keeps parallel
-// runs byte-identical to sequential ones. With parallelism 1 the jobs are
-// dispatched inline in order, preserving the legacy sequential runner's
-// progress-line ordering exactly.
-func (e *engine) runAll(benches []*kernels.Benchmark, c sim.Config) ([]*sim.Result, error) {
+// results and errors in benchmark order — the ordering contract that keeps
+// parallel runs byte-identical to sequential ones. Every benchmark runs
+// even when an earlier one fails (also at parallelism 1), so the memo
+// cache and the error set end up identical at every parallelism level.
+func (e *engine) runAll(benches []*kernels.Benchmark, c sim.Config) ([]*sim.Result, []error) {
 	results := make([]*sim.Result, len(benches))
+	errs := make([]error, len(benches))
 	if e.parallelism == 1 {
 		for i, b := range benches {
-			res, err := e.run(b, c)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = res
+			results[i], errs[i] = e.run(b, c)
 		}
-		return results, nil
+		return results, errs
 	}
-	errs := make([]error, len(benches))
 	var wg sync.WaitGroup
 	for i, b := range benches {
 		wg.Add(1)
@@ -213,10 +326,18 @@ func (e *engine) runAll(benches []*kernels.Benchmark, c sim.Config) ([]*sim.Resu
 		}(i, b)
 	}
 	wg.Wait()
+	return results, errs
+}
+
+// firstError returns the error of the lowest-ordered failed job (benches
+// are sorted by name, so this is the first error by job key) — the
+// deterministic choice that keeps failure output stable across
+// parallelism levels, instead of whichever worker loses the race.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }

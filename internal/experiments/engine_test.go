@@ -12,6 +12,16 @@ import (
 	"repro/internal/sim"
 )
 
+// mustNew builds a Runner or fails the test (the valid-config happy path).
+func mustNew(t *testing.T, ctx context.Context, opts ...Option) *Runner {
+	t.Helper()
+	r, err := New(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // fastNewOpts mirrors fastOpts for the context-first constructor.
 func fastNewOpts(extra ...Option) []Option {
 	base := sim.DefaultConfig()
@@ -44,8 +54,8 @@ func renderAll(t *testing.T, r *Runner) string {
 // TestParallelMatchesSequential is the determinism contract: a parallel run
 // must produce byte-identical figure/table output to a sequential run.
 func TestParallelMatchesSequential(t *testing.T) {
-	seq := renderAll(t, New(context.Background(), fastNewOpts(WithParallelism(1))...))
-	par := renderAll(t, New(context.Background(), fastNewOpts(WithParallelism(8))...))
+	seq := renderAll(t, mustNew(t, context.Background(), fastNewOpts(WithParallelism(1))...))
+	par := renderAll(t, mustNew(t, context.Background(), fastNewOpts(WithParallelism(8))...))
 	if seq != par {
 		t.Fatalf("parallel output differs from sequential output:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
@@ -61,7 +71,7 @@ func TestCancellationMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var once sync.Once
-	r := New(ctx, fastNewOpts(
+	r := mustNew(t, ctx, fastNewOpts(
 		WithParallelism(4),
 		WithProgress(func(ev Event) {
 			if ev.Kind == EventJobStart {
@@ -86,7 +96,7 @@ func TestPreCanceledRunner(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	simulated := false
-	r := New(ctx, fastNewOpts(WithProgress(func(ev Event) {
+	r := mustNew(t, ctx, fastNewOpts(WithProgress(func(ev Event) {
 		if ev.Kind == EventJobDone && ev.Err == nil {
 			simulated = true
 		}
@@ -106,7 +116,7 @@ func TestSingleFlight(t *testing.T) {
 	// The engine serializes progress callbacks, and all Run calls have
 	// returned before the map is read, so no locking is needed.
 	started := map[string]int{}
-	r := New(context.Background(), fastNewOpts(
+	r := mustNew(t, context.Background(), fastNewOpts(
 		WithParallelism(4),
 		WithProgress(func(ev Event) {
 			if ev.Kind == EventJobStart {
@@ -146,7 +156,7 @@ func TestSingleFlight(t *testing.T) {
 // re-request of a cached config produces cache-hit events.
 func TestEventStream(t *testing.T) {
 	var events []Event
-	r := New(context.Background(), fastNewOpts(
+	r := mustNew(t, context.Background(), fastNewOpts(
 		WithParallelism(2),
 		WithProgress(func(ev Event) { events = append(events, ev) }))...)
 	if _, err := r.Run("fig8"); err != nil {
@@ -239,7 +249,7 @@ func TestDeprecatedShim(t *testing.T) {
 
 // TestWithBenchmarksReset checks the documented no-argument reset.
 func TestWithBenchmarksReset(t *testing.T) {
-	r := New(context.Background(), WithBenchmarks("bfs"), WithBenchmarks())
+	r := mustNew(t, context.Background(), WithBenchmarks("bfs"), WithBenchmarks())
 	benches, err := r.benchmarks()
 	if err != nil {
 		t.Fatal(err)
@@ -251,10 +261,10 @@ func TestWithBenchmarksReset(t *testing.T) {
 
 // TestDefaultParallelism: 0 and negative resolve to GOMAXPROCS.
 func TestDefaultParallelism(t *testing.T) {
-	if p := New(context.Background()).Parallelism(); p < 1 {
+	if p := mustNew(t, context.Background()).Parallelism(); p < 1 {
 		t.Fatalf("default parallelism %d", p)
 	}
-	if p := New(context.Background(), WithParallelism(-3)).Parallelism(); p < 1 {
+	if p := mustNew(t, context.Background(), WithParallelism(-3)).Parallelism(); p < 1 {
 		t.Fatalf("negative parallelism resolved to %d", p)
 	}
 }

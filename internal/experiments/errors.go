@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOutputMismatch marks a simulation that completed but produced output
+// differing from the host reference. The job's *sim.Result is still
+// returned alongside the error: fault-injection exhibits need the timing
+// and energy counters of incorrect runs. Test with errors.Is.
+var ErrOutputMismatch = errors.New("simulation produced wrong output")
+
+// JobError is the typed failure of one (benchmark, configuration) job. The
+// engine wraps every job failure in one, so suite-level errors always carry
+// the identity of the job that died and how many attempts it was given.
+type JobError struct {
+	Benchmark string
+	Config    string // memoization signature of the configuration
+	Attempts  int    // total attempts made (1 = no retries fired)
+	Err       error
+}
+
+func (e *JobError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("experiments: job %s [%s] failed after %d attempts: %v", e.Benchmark, e.Config, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("experiments: job %s [%s]: %v", e.Benchmark, e.Config, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is a panic recovered from a simulation job (or an exhibit
+// assembly), converted into an error so one broken benchmark cannot take
+// down a whole suite run. Stack holds the panicking goroutine's trace; it
+// is deliberately excluded from Error() so failure reports stay
+// deterministic across runs.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// StallError reports a job canceled by the progress watchdog: the
+// simulation issued no new instructions for a full deadline window.
+type StallError struct {
+	Deadline time.Duration
+	LastBeat uint64 // instructions issued when progress last advanced
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("no forward progress within %v (stalled at %d instructions)", e.Deadline, e.LastBeat)
+}
+
+// TransientError marks a failure as worth retrying. Benchmark builders and
+// test stubs wrap flaky failures in it; deterministic simulation errors
+// must not be marked transient (retrying them only wastes time).
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether a job failure is retryable: explicitly
+// marked transient, or a watchdog stall (wall-clock dependent, so a retry
+// on a less loaded machine can succeed).
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var se *StallError
+	return errors.As(err, &se)
+}

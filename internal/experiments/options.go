@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -16,6 +17,9 @@ type config struct {
 	parallelism int // 0 means GOMAXPROCS
 	progress    ProgressFunc
 	base        *sim.Config
+	retries     int
+	backoff     time.Duration
+	watchdog    time.Duration
 }
 
 // Option configures a Runner built with New.
@@ -63,6 +67,44 @@ func WithProgressWriter(w io.Writer) Option {
 	})
 }
 
+// WithRetries grants every job n extra attempts (default 0) after a
+// transient failure — one wrapped in TransientError, or a watchdog stall.
+// Deterministic failures (panics, wrong output, invalid configs) are never
+// retried.
+func WithRetries(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+	}
+}
+
+// WithRetryBackoff sets the delay before the first retry (default 100ms);
+// each subsequent retry doubles it.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithWatchdog arms the per-job progress watchdog: a simulation that issues
+// no new instructions for a full window d is canceled and fails with a
+// *StallError (which is transient, so retries apply). d <= 0 (the default)
+// disables the watchdog. Note the trigger is issued instructions, not
+// cycles: a deadlocked kernel spinning at a barrier burns cycles but issues
+// nothing, which is exactly what the watchdog exists to catch.
+func WithWatchdog(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			d = 0
+		}
+		c.watchdog = d
+	}
+}
+
 // WithBaseConfig overrides the hardware configuration the experiment
 // configurations are derived from (default sim.DefaultConfig). Compression
 // mode, gating, scheduler, latencies and characterization are overridden
@@ -74,17 +116,31 @@ func WithBaseConfig(base sim.Config) Option {
 	}
 }
 
-// New builds an experiment Runner. ctx governs every simulation the runner
-// schedules: canceling it makes in-flight and future runs return an error
-// wrapping ctx.Err() promptly (the simulator polls the context inside its
-// cycle loop). A nil ctx means context.Background().
+// New builds an experiment Runner, validating the base hardware
+// configuration up front (a *sim.ConfigError describes the first invalid
+// field). ctx governs every simulation the runner schedules: canceling it
+// makes in-flight and future runs return an error wrapping ctx.Err()
+// promptly (the simulator polls the context inside its cycle loop). A nil
+// ctx means context.Background().
 //
-//	r := experiments.New(ctx,
+//	r, err := experiments.New(ctx,
 //	    experiments.WithScale(kernels.Medium),
 //	    experiments.WithParallelism(runtime.GOMAXPROCS(0)),
 //	    experiments.WithProgress(func(ev experiments.Event) { ... }))
 //	tables, err := r.RunAll()
-func New(ctx context.Context, opts ...Option) *Runner {
+func New(ctx context.Context, opts ...Option) (*Runner, error) {
+	r := build(ctx, opts...)
+	if r.initErr != nil {
+		return nil, r.initErr
+	}
+	return r, nil
+}
+
+// build assembles a Runner without rejecting an invalid base configuration:
+// New surfaces the validation error immediately, while the deprecated
+// NewRunner (whose signature cannot return one) stores it and lets every
+// public method report it.
+func build(ctx context.Context, opts ...Option) *Runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -92,10 +148,18 @@ func New(ctx context.Context, opts ...Option) *Runner {
 	for _, o := range opts {
 		o(&c)
 	}
-	return &Runner{
-		cfg: c,
-		eng: newEngine(ctx, c.parallelism, c.scale, c.progress),
+	eng := newEngine(ctx, c.parallelism, c.scale, c.progress)
+	eng.retries = c.retries
+	if c.backoff > 0 {
+		eng.backoff = c.backoff
 	}
+	eng.watchdog = c.watchdog
+	r := &Runner{cfg: c, eng: eng}
+	base := r.baseConfig()
+	if err := base.Validate(); err != nil {
+		r.initErr = fmt.Errorf("experiments: invalid base config: %w", err)
+	}
+	return r
 }
 
 // Options selects what the legacy runner simulates.
@@ -116,7 +180,8 @@ type Options struct {
 
 // NewRunner builds a Runner from legacy Options. It preserves the old
 // sequential behaviour exactly (parallelism 1, deterministic progress-line
-// order) and never cancels.
+// order) and never cancels. An invalid Base config is reported by the first
+// method call instead of here (the old signature has no error to return).
 //
 // Deprecated: use New with functional options.
 func NewRunner(opts Options) *Runner {
@@ -130,5 +195,5 @@ func NewRunner(opts Options) *Runner {
 	if opts.Base != nil {
 		o = append(o, WithBaseConfig(*opts.Base))
 	}
-	return New(context.Background(), o...)
+	return build(context.Background(), o...)
 }

@@ -15,28 +15,41 @@ import (
 // even when several exhibits request them concurrently. Build one with New
 // (or the deprecated NewRunner shim).
 type Runner struct {
-	cfg config
-	eng *engine
+	cfg     config
+	eng     *engine
+	initErr error // invalid base config, reported by every public method
+
+	// failures, when non-nil, switches forEach into partial mode: job
+	// failures are recorded here and the failing benchmarks skipped,
+	// instead of aborting the exhibit. Only RunPartial sets it.
+	failures *failureSink
 }
 
 // Parallelism reports how many simulations the runner may execute
 // concurrently.
 func (r *Runner) Parallelism() int { return r.eng.parallelism }
 
-// benchmarks resolves the benchmark list.
+// benchmarks resolves the benchmark list. In partial mode it also drops
+// benchmarks that already failed: exhibits assemble their final rows from a
+// fresh benchmarks() call, so filtering here keeps their row loops — and
+// the maps those loops index — consistent with what forEach actually ran.
 func (r *Runner) benchmarks() ([]*kernels.Benchmark, error) {
-	if r.cfg.benchmarks == nil {
-		return kernels.All(), nil
-	}
 	var out []*kernels.Benchmark
-	for _, name := range r.cfg.benchmarks {
-		b, ok := kernels.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown benchmark %q (have %v)", name, kernels.Names())
+	if r.cfg.benchmarks == nil {
+		out = kernels.All()
+	} else {
+		for _, name := range r.cfg.benchmarks {
+			b, ok := kernels.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown benchmark %q (have %v)", name, kernels.Names())
+			}
+			out = append(out, b)
 		}
-		out = append(out, b)
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if r.failures != nil {
+		out = r.failures.filter(out)
+	}
 	return out, nil
 }
 
@@ -96,13 +109,17 @@ func (r *Runner) cfgDecompLatency(lat int) sim.Config {
 	return c
 }
 
-// sig produces the memoization key of a configuration.
+// sig produces the memoization key of a configuration. Every field that can
+// change a simulation's outcome must appear here: the fault-injection
+// exhibit, for example, varies Faults and MaxCycles on top of otherwise
+// identical configs, and omitting either would silently alias its cache
+// entries with the clean runs.
 func sig(c *sim.Config) string {
 	return fmt.Sprintf("m%d g%t s%s cl%d dl%d ch%t sm%d w%d cta%d col%d c%d d%d wake%d dp%s",
 		c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
 		c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
 		c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
-		fmt.Sprintf(" rfc%d drw%d", c.RFCEntries, c.DrowsyAfter)
+		fmt.Sprintf(" rfc%d drw%d mc%d flt{%s}", c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.Faults.String())
 }
 
 // run simulates one benchmark under one configuration through the engine's
@@ -115,16 +132,27 @@ func (r *Runner) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 // the engine's worker pool, then calls fn once per benchmark in name order.
 // The sequential fn pass is the determinism contract: exhibit tables are
 // assembled in the same order at every parallelism level.
+//
+// In strict mode (Run/RunAll) the first failure — first by benchmark name,
+// not by wall clock — aborts the exhibit. In partial mode (RunPartial) a
+// failing benchmark is recorded in the failure sink and skipped here and in
+// every later exhibit, so one broken job costs one row, not the suite.
 func (r *Runner) forEach(c sim.Config, fn func(b *kernels.Benchmark, res *sim.Result) error) error {
 	benches, err := r.benchmarks()
 	if err != nil {
 		return err
 	}
-	results, err := r.eng.runAll(benches, c)
-	if err != nil {
-		return err
+	results, errs := r.eng.runAll(benches, c)
+	if r.failures == nil {
+		if err := firstError(errs); err != nil {
+			return err
+		}
 	}
 	for i, b := range benches {
+		if errs[i] != nil {
+			r.failures.record(b.Name, sig(&c), errs[i])
+			continue
+		}
 		if err := fn(b, results[i]); err != nil {
 			return err
 		}
@@ -184,6 +212,8 @@ var exhibits = []exhibit{
 	{"abl3-units", "Compressor/decompressor pool sizing", (*Runner).AblUnits},
 	{"abl4-rfc", "Warped-compression vs register file cache", (*Runner).AblRFC},
 	{"abl5-drowsy", "Warped-compression vs drowsy register file", (*Runner).AblDrowsy},
+	// Robustness exhibit: behaviour under injected register-file faults.
+	{"flt1-faults", "Kernel correctness and energy under injected register faults", (*Runner).FaultInjection},
 }
 
 // IDs lists every regenerable exhibit in paper order.
@@ -207,6 +237,9 @@ func Title(id string) (string, bool) {
 
 // Run regenerates one exhibit by id ("fig9", "table1", ...).
 func (r *Runner) Run(id string) (*Table, error) {
+	if r.initErr != nil {
+		return nil, r.initErr
+	}
 	for _, e := range exhibits {
 		if e.id == id {
 			return e.run(r)
@@ -217,8 +250,13 @@ func (r *Runner) Run(id string) (*Table, error) {
 
 // RunAll regenerates every exhibit in paper order. The memo cache is shared
 // across exhibits, so each distinct (benchmark, configuration) pair
-// simulates exactly once for the whole set.
+// simulates exactly once for the whole set. The first job failure (by
+// benchmark name, deterministic across parallelism levels) aborts the run;
+// use RunPartial to keep going and collect what succeeded.
 func (r *Runner) RunAll() ([]*Table, error) {
+	if r.initErr != nil {
+		return nil, r.initErr
+	}
 	// Warm the cache with the two configurations nearly every exhibit
 	// shares, so the first exhibits already run at full width.
 	r.prefetch(r.cfgBaseline(), r.cfgWarped())

@@ -1,0 +1,214 @@
+// Package faults is the deterministic, seeded fault-injection layer of the
+// reliability axis: it models the two register-file failure modes the RRCD
+// line of work studies on top of compression (see PAPERS.md) — permanent
+// stuck-at failures of whole register banks and transient single-bit flips
+// on register writes.
+//
+// Everything is derived from a single Seed: the same configuration produces
+// the identical fault pattern on every run, at every engine parallelism
+// level, which keeps fault experiments memoizable and their JSON results
+// byte-reproducible. The package holds no global state and draws no entropy
+// from the environment.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config selects the fault model. The zero value disables injection.
+type Config struct {
+	// Seed drives every pseudo-random decision (which banks fail, which
+	// writes flip a bit). Two runs with equal Config behave identically.
+	Seed int64
+	// StuckAtBanks is the number of register banks per SM with permanent
+	// stuck-at failures. Data stored in a stuck bank reads back corrupted.
+	StuckAtBanks int
+	// TransientPerM is the expected number of transient single-bit flips
+	// per million register writes (soft-error rate knob). 0 disables.
+	TransientPerM int
+	// Redirect enables RRCD-style redirection: compressed registers, which
+	// need fewer than the full 8 banks of their cluster, are placed in the
+	// cluster's healthy banks first, steering around stuck banks.
+	Redirect bool
+}
+
+// Enabled reports whether any fault mechanism is active.
+func (c Config) Enabled() bool { return c.StuckAtBanks > 0 || c.TransientPerM > 0 }
+
+// ConfigError is a typed validation failure of a fault configuration.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("faults: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects impossible fault parameters. numBanks is the register
+// file's bank count (the stuck-at ceiling).
+func (c Config) Validate(numBanks int) error {
+	if c.StuckAtBanks < 0 {
+		return &ConfigError{"StuckAtBanks", "must be non-negative"}
+	}
+	if c.StuckAtBanks > numBanks {
+		return &ConfigError{"StuckAtBanks", fmt.Sprintf("%d exceeds the %d register banks", c.StuckAtBanks, numBanks)}
+	}
+	if c.TransientPerM < 0 {
+		return &ConfigError{"TransientPerM", "must be non-negative"}
+	}
+	if c.TransientPerM > 1_000_000 {
+		return &ConfigError{"TransientPerM", "rate is per million writes; maximum 1000000"}
+	}
+	return nil
+}
+
+// String renders the configuration in ParseSpec syntax.
+func (c Config) String() string {
+	return fmt.Sprintf("seed=%d,stuck=%d,transient=%d,redirect=%t",
+		c.Seed, c.StuckAtBanks, c.TransientPerM, c.Redirect)
+}
+
+// ParseSpec parses a warpedsim -inject specification: comma-separated
+// key=value pairs. Keys: seed (int), stuck (bank count), transient (flips
+// per million writes), redirect (bool; bare "redirect" means true).
+//
+//	seed=42,stuck=2,redirect
+//	stuck=1,transient=100
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed", "stuck", "transient":
+			if !hasVal {
+				return Config{}, fmt.Errorf("faults: %q needs a value (key=value)", key)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
+			}
+			switch key {
+			case "seed":
+				c.Seed = n
+			case "stuck":
+				c.StuckAtBanks = int(n)
+			case "transient":
+				c.TransientPerM = int(n)
+			}
+		case "redirect":
+			if !hasVal {
+				c.Redirect = true
+				break
+			}
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad redirect value %q: %v", val, err)
+			}
+			c.Redirect = b
+		default:
+			return Config{}, fmt.Errorf("faults: unknown key %q (have seed, stuck, transient, redirect)", key)
+		}
+	}
+	return c, nil
+}
+
+// splitmix64 is the PRNG behind every injection decision: tiny, fast and
+// fully specified here, so fault patterns never depend on the standard
+// library's generator evolving between Go releases.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Injector holds one SM's realized fault pattern: the stuck bank set chosen
+// at construction and the transient-flip stream consumed one draw per
+// register write. Distinct SM ids under the same seed fail differently, as
+// on real silicon.
+//
+// An Injector is not safe for concurrent use; the simulator drives each
+// SM's injector from its single-threaded cycle loop.
+type Injector struct {
+	cfg     Config
+	state   uint64 // transient-flip PRNG stream
+	faulty  []bool // indexed by bank
+	banks   []int  // sorted faulty bank indices
+	pattern []uint32
+}
+
+// NewInjector realizes the fault pattern of one SM over numBanks register
+// banks. The same (cfg, smID, numBanks) triple always yields the same
+// pattern.
+func NewInjector(cfg Config, smID, numBanks int) *Injector {
+	in := &Injector{
+		cfg:     cfg,
+		faulty:  make([]bool, numBanks),
+		pattern: make([]uint32, numBanks),
+	}
+	// Separate streams for topology (which banks fail, their stuck values)
+	// and for the transient sequence, so enabling transients never reshuffles
+	// the stuck bank placement.
+	topo := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(smID)*0xD1B54A32D192ED03 + 1
+	in.state = uint64(cfg.Seed)*0xBF58476D1CE4E5B9 + uint64(smID)*0x94D049BB133111EB + 2
+
+	n := cfg.StuckAtBanks
+	if n > numBanks {
+		n = numBanks
+	}
+	// Partial Fisher-Yates over the bank indices picks n distinct victims.
+	perm := make([]int, numBanks)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + int(splitmix64(&topo)%uint64(numBanks-i))
+		perm[i], perm[j] = perm[j], perm[i]
+		in.faulty[perm[i]] = true
+	}
+	in.banks = append(in.banks, perm[:n]...)
+	sort.Ints(in.banks)
+	for b := range in.pattern {
+		// A stuck bank XORs stored data with a fixed nonzero pattern: the
+		// simplest model in which every write through the bank is visibly
+		// corrupted yet fully deterministic.
+		in.pattern[b] = uint32(splitmix64(&topo)) | 1
+	}
+	return in
+}
+
+// FaultyBanks returns the stuck bank indices, sorted ascending. The slice
+// is shared; callers must not mutate it.
+func (in *Injector) FaultyBanks() []int { return in.banks }
+
+// BankFaulty reports whether bank b has a permanent stuck-at failure.
+func (in *Injector) BankFaulty(b int) bool { return in.faulty[b] }
+
+// StuckPattern returns the nonzero XOR corruption pattern of a stuck bank.
+func (in *Injector) StuckPattern(b int) uint32 { return in.pattern[b] }
+
+// TransientFlip consumes one draw of the transient stream: called once per
+// register write, it reports whether that write suffers a single-bit upset
+// and, if so, which lane and bit flip.
+func (in *Injector) TransientFlip() (lane, bit int, ok bool) {
+	if in.cfg.TransientPerM <= 0 {
+		return 0, 0, false
+	}
+	u := splitmix64(&in.state)
+	if u%1_000_000 >= uint64(in.cfg.TransientPerM) {
+		return 0, 0, false
+	}
+	v := splitmix64(&in.state)
+	return int(v % 32), int((v >> 8) % 32), true
+}

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInjectorDeterminism: the whole point of the seeded design — identical
+// (config, SM, bank-count) triples realize identical fault patterns and
+// identical transient streams.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, StuckAtBanks: 3, TransientPerM: 5000}
+	a := NewInjector(cfg, 2, 32)
+	b := NewInjector(cfg, 2, 32)
+	if len(a.FaultyBanks()) != 3 {
+		t.Fatalf("faulty banks = %v, want 3 entries", a.FaultyBanks())
+	}
+	for i, bank := range a.FaultyBanks() {
+		if b.FaultyBanks()[i] != bank {
+			t.Fatalf("bank sets differ: %v vs %v", a.FaultyBanks(), b.FaultyBanks())
+		}
+		if a.StuckPattern(bank) != b.StuckPattern(bank) {
+			t.Fatalf("stuck patterns differ on bank %d", bank)
+		}
+		if a.StuckPattern(bank) == 0 {
+			t.Fatalf("stuck pattern of bank %d is zero (invisible corruption)", bank)
+		}
+	}
+	for i := 0; i < 10_000; i++ {
+		al, ab, aok := a.TransientFlip()
+		bl, bb, bok := b.TransientFlip()
+		if al != bl || ab != bb || aok != bok {
+			t.Fatalf("transient streams diverge at draw %d", i)
+		}
+	}
+}
+
+// TestInjectorPerSM: different SMs under one seed fail in different places
+// (at least for this seed — the property the per-SM stream split exists for).
+func TestInjectorPerSM(t *testing.T) {
+	cfg := Config{Seed: 1, StuckAtBanks: 4}
+	a := NewInjector(cfg, 0, 32).FaultyBanks()
+	b := NewInjector(cfg, 1, 32).FaultyBanks()
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("SM 0 and SM 1 realized the identical bank set %v", a)
+	}
+}
+
+// TestInjectorBankSet: counts, bounds, clamping and the BankFaulty view.
+func TestInjectorBankSet(t *testing.T) {
+	in := NewInjector(Config{Seed: 9, StuckAtBanks: 5}, 3, 32)
+	banks := in.FaultyBanks()
+	if len(banks) != 5 {
+		t.Fatalf("%d faulty banks, want 5", len(banks))
+	}
+	seen := map[int]bool{}
+	for _, b := range banks {
+		if b < 0 || b >= 32 {
+			t.Fatalf("bank %d out of range", b)
+		}
+		if seen[b] {
+			t.Fatalf("bank %d chosen twice", b)
+		}
+		seen[b] = true
+		if !in.BankFaulty(b) {
+			t.Fatalf("BankFaulty(%d) = false for a listed bank", b)
+		}
+	}
+	healthy := 0
+	for b := 0; b < 32; b++ {
+		if !in.BankFaulty(b) {
+			healthy++
+		}
+	}
+	if healthy != 27 {
+		t.Fatalf("%d healthy banks, want 27", healthy)
+	}
+
+	// Requesting more failures than banks exist clamps to all-faulty.
+	all := NewInjector(Config{Seed: 9, StuckAtBanks: 99}, 0, 8)
+	if len(all.FaultyBanks()) != 8 {
+		t.Fatalf("clamp failed: %v", all.FaultyBanks())
+	}
+}
+
+// TestTransientRateExtremes: rate 0 never flips, rate 1e6 always flips, and
+// lane/bit stay in range.
+func TestTransientRateExtremes(t *testing.T) {
+	off := NewInjector(Config{Seed: 3, TransientPerM: 0}, 0, 32)
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := off.TransientFlip(); ok {
+			t.Fatal("rate 0 produced a flip")
+		}
+	}
+	on := NewInjector(Config{Seed: 3, TransientPerM: 1_000_000}, 0, 32)
+	for i := 0; i < 1000; i++ {
+		lane, bit, ok := on.TransientFlip()
+		if !ok {
+			t.Fatal("rate 1e6 skipped a flip")
+		}
+		if lane < 0 || lane > 31 || bit < 0 || bit > 31 {
+			t.Fatalf("flip out of range: lane %d bit %d", lane, bit)
+		}
+	}
+}
+
+// TestValidate: typed errors for impossible parameters.
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{StuckAtBanks: -1},
+		{StuckAtBanks: 33},
+		{TransientPerM: -5},
+		{TransientPerM: 1_000_001},
+	}
+	for i, c := range bad {
+		err := c.Validate(32)
+		if err == nil {
+			t.Errorf("bad config %d accepted", i)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("bad config %d: error %v is not a *ConfigError", i, err)
+		}
+	}
+	good := Config{Seed: 1, StuckAtBanks: 2, TransientPerM: 100, Redirect: true}
+	if err := good.Validate(32); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if !good.Enabled() {
+		t.Fatal("good config should report enabled")
+	}
+	if (Config{Seed: 5}).Enabled() {
+		t.Fatal("seed alone must not enable injection")
+	}
+}
+
+// TestParseSpec: syntax, defaults, bare redirect, round-trip via String.
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("seed=42, stuck=2, transient=100, redirect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 42, StuckAtBanks: 2, TransientPerM: 100, Redirect: true}
+	if c != want {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+	if rt, err := ParseSpec(c.String()); err != nil || rt != c {
+		t.Fatalf("round trip: %+v (%v), want %+v", rt, err, c)
+	}
+	if c, err := ParseSpec(""); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	if c, err := ParseSpec("redirect=false,stuck=1"); err != nil || c.Redirect {
+		t.Fatalf("explicit redirect=false: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"stuck", "stuck=x", "seed=9999999999999999999999", "redirect=maybe", "banks=3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

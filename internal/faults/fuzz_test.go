@@ -1,0 +1,79 @@
+package faults
+
+import "testing"
+
+// FuzzInjector fuzzes the realized fault pattern over arbitrary seeds and
+// (clamped) shape parameters: construction must never panic, the stuck set
+// must be exact, in-range, duplicate-free and nonzero-patterned, and an
+// identically-parameterized injector must reproduce it bit-for-bit — the
+// determinism contract every fault experiment rests on.
+func FuzzInjector(f *testing.F) {
+	f.Add(int64(0), 0, 0, 0, uint8(32))
+	f.Add(int64(42), 2, 100, 3, uint8(32))
+	f.Add(int64(-1), 64, 1_000_000, 255, uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, stuck, perM, smID int, nb uint8) {
+		numBanks := int(nb%64) + 1
+		if stuck < 0 {
+			stuck = -stuck
+		}
+		if perM < 0 {
+			perM = -perM
+		}
+		cfg := Config{Seed: seed, StuckAtBanks: stuck % (numBanks + 1), TransientPerM: perM % 1_000_001}
+		if err := cfg.Validate(numBanks); err != nil {
+			t.Fatalf("clamped config invalid: %v", err)
+		}
+		a := NewInjector(cfg, smID, numBanks)
+		b := NewInjector(cfg, smID, numBanks)
+		banks := a.FaultyBanks()
+		if len(banks) != cfg.StuckAtBanks {
+			t.Fatalf("%d faulty banks, want %d", len(banks), cfg.StuckAtBanks)
+		}
+		for i, bank := range banks {
+			if bank < 0 || bank >= numBanks {
+				t.Fatalf("bank %d out of [0,%d)", bank, numBanks)
+			}
+			if i > 0 && banks[i-1] >= bank {
+				t.Fatalf("bank list not strictly sorted: %v", banks)
+			}
+			if a.StuckPattern(bank) == 0 {
+				t.Fatalf("zero stuck pattern on bank %d", bank)
+			}
+			if b.FaultyBanks()[i] != bank || b.StuckPattern(bank) != a.StuckPattern(bank) {
+				t.Fatal("determinism violated: twin injector differs")
+			}
+		}
+		for i := 0; i < 64; i++ {
+			al, ab, aok := a.TransientFlip()
+			bl, bb, bok := b.TransientFlip()
+			if al != bl || ab != bb || aok != bok {
+				t.Fatalf("transient streams diverge at draw %d", i)
+			}
+			if aok && (al < 0 || al > 31 || ab < 0 || ab > 31) {
+				t.Fatalf("flip out of range: lane %d bit %d", al, ab)
+			}
+		}
+	})
+}
+
+// FuzzParseSpec: the -inject grammar never panics, and accepted specs
+// round-trip through Config.String.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=42,stuck=2,transient=100,redirect")
+	f.Add("stuck=1")
+	f.Add("")
+	f.Add("redirect=false, seed=-3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		rt, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("String() of accepted spec rejected: %v", err)
+		}
+		if rt != c {
+			t.Fatalf("round trip changed config: %+v -> %+v", c, rt)
+		}
+	})
+}

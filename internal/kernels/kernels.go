@@ -72,6 +72,21 @@ var registry []*Benchmark
 
 func register(b *Benchmark) { registry = append(registry, b) }
 
+// Register adds a benchmark to the global registry. The built-in suite
+// registers itself at init; this export exists for tests and experiment
+// harnesses that need synthetic workloads (e.g. deliberately panicking or
+// stalling stubs for engine-robustness tests). Duplicate names panic: every
+// result table and memo key is keyed by name.
+func Register(b *Benchmark) {
+	if b == nil || b.Name == "" || b.Build == nil {
+		panic("kernels: Register needs a named benchmark with a Build func")
+	}
+	if _, ok := ByName(b.Name); ok {
+		panic(fmt.Sprintf("kernels: benchmark %q already registered", b.Name))
+	}
+	register(b)
+}
+
 // All returns every benchmark, sorted by name (the order figures use).
 func All() []*Benchmark {
 	out := append([]*Benchmark(nil), registry...)

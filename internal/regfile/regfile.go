@@ -39,6 +39,17 @@ type Config struct {
 	// cycles leak at a reduced rate; the 1-cycle wake is below this model's
 	// granularity and is folded into the access.
 	DrowsyAfter int
+	// FaultyBanks lists global bank indices with permanent stuck-at
+	// failures (internal/faults). The file keeps using them — data routed
+	// there is corrupted, which the simulator models — unless
+	// RedirectCompressed steers compressed registers away.
+	FaultyBanks []int
+	// RedirectCompressed enables RRCD-style redirection: a compressed
+	// register, needing fewer than all 8 banks of its cluster, is placed in
+	// the cluster's healthy banks first. Uncompressed registers keep the
+	// fixed lane-to-bank striping (every bank, faulty or not), as the
+	// hardware wiring dictates.
+	RedirectCompressed bool
 }
 
 type powerState uint8
@@ -75,6 +86,16 @@ type File struct {
 	indicators *core.IndicatorTable
 	written    []bool // per register id: has it ever been written?
 
+	// Fault topology: per-bank stuck flags and, per cluster, the bank
+	// placement order compressed registers use (healthy banks first when
+	// redirection is on, identity otherwise) plus the lowest physical
+	// in-cluster index of a faulty bank (BanksPerCluster when clean) —
+	// a compressed write of k banks is steered away from a fault exactly
+	// when firstFaulty < k.
+	faulty      [NumBanks]bool
+	order       [NumClusters][BanksPerCluster]uint8
+	firstFaulty [NumClusters]uint8
+
 	numGated int
 
 	// Aggregate statistics.
@@ -85,6 +106,7 @@ type File struct {
 	compressedRegs    int
 	writtenRegs       int
 	readBeforeWrite   uint64
+	redirectedWrites  uint64
 }
 
 // New builds an empty register file.
@@ -96,6 +118,36 @@ func New(cfg Config) *File {
 		cfg:        cfg,
 		indicators: core.NewIndicatorTable(Capacity),
 		written:    make([]bool, Capacity),
+	}
+	for _, b := range cfg.FaultyBanks {
+		if b < 0 || b >= NumBanks {
+			panic("regfile: faulty bank index out of range")
+		}
+		f.faulty[b] = true
+	}
+	for c := 0; c < NumClusters; c++ {
+		f.firstFaulty[c] = BanksPerCluster
+		for i := BanksPerCluster - 1; i >= 0; i-- {
+			if f.faulty[c*BanksPerCluster+i] {
+				f.firstFaulty[c] = uint8(i)
+			}
+		}
+		n := 0
+		for i := 0; i < BanksPerCluster; i++ {
+			if !(cfg.RedirectCompressed && f.faulty[c*BanksPerCluster+i]) {
+				f.order[c][n] = uint8(i)
+				n++
+			}
+		}
+		// With redirection on, faulty banks sort last so a compressed
+		// register only spills into them when the cluster has too few
+		// healthy banks for its encoding.
+		for i := 0; n < BanksPerCluster; i++ {
+			if f.faulty[c*BanksPerCluster+i] {
+				f.order[c][n] = uint8(i)
+				n++
+			}
+		}
 	}
 	if cfg.GatingEnabled {
 		// Empty banks hold no live registers, so they start gated
@@ -133,6 +185,17 @@ func bankIndex(id, i int) int {
 	return c*BanksPerCluster + i
 }
 
+// compBank returns the global bank index holding the i-th compressed slice
+// of register id. Without faults (or without redirection) this is the
+// cluster's i-th bank; with RRCD-style redirection the cluster's healthy
+// banks are used first. The order is static per file, so a register that
+// transitions between encodings always reuses a prefix or extension of the
+// same bank sequence.
+func (f *File) compBank(id, i int) int {
+	c, _ := cluster(id)
+	return c*BanksPerCluster + int(f.order[c][i])
+}
+
 // Encoding returns the current compression range indicator of register id.
 func (f *File) Encoding(id int) core.Encoding { return f.indicators.Get(id) }
 
@@ -153,7 +216,7 @@ func (f *File) ReadBanks(id int, activeMask uint32, buf []int) []int {
 	if enc.IsCompressed() {
 		buf = buf[:0]
 		for i := 0; i < enc.Banks(); i++ {
-			buf = append(buf, bankIndex(id, i))
+			buf = append(buf, f.compBank(id, i))
 		}
 		return buf
 	}
@@ -164,10 +227,16 @@ func (f *File) ReadBanks(id int, activeMask uint32, buf []int) []int {
 // touches. Divergent (partial) writes are always uncompressed and touch only
 // the banks covering active lanes.
 func (f *File) WriteBanks(id int, enc core.Encoding, activeMask uint32, full bool, buf []int) []int {
-	if enc.IsCompressed() || full {
-		n := enc.Banks()
+	if enc.IsCompressed() {
 		buf = buf[:0]
-		for i := 0; i < n; i++ {
+		for i := 0; i < enc.Banks(); i++ {
+			buf = append(buf, f.compBank(id, i))
+		}
+		return buf
+	}
+	if full {
+		buf = buf[:0]
+		for i := 0; i < BanksPerCluster; i++ {
 			buf = append(buf, bankIndex(id, i))
 		}
 		return buf
@@ -230,15 +299,23 @@ func (f *File) CommitWrite(id int, enc core.Encoding, full bool, now uint64) {
 	if !full && enc.IsCompressed() {
 		panic("regfile: divergent write must be uncompressed")
 	}
-	_, entry := cluster(id)
+	c, entry := cluster(id)
 	keep := enc.Banks()
+	// Walk the cluster's placement order: positions below keep hold the
+	// register, the rest must be invalid. The order is static, so encoding
+	// transitions (e.g. Enc42 -> Enc40) shrink or grow the same sequence.
 	for i := 0; i < BanksPerCluster; i++ {
-		bi := bankIndex(id, i)
+		bi := f.compBank(id, i)
 		if i < keep {
 			f.setValid(bi, entry, true, now)
 		} else {
 			f.setValid(bi, entry, false, now)
 		}
+	}
+	if enc.IsCompressed() && f.cfg.RedirectCompressed && int(f.firstFaulty[c]) < keep {
+		// Default striping would have placed a slice in a faulty bank;
+		// the healthy-first order steered it away.
+		f.redirectedWrites++
 	}
 	prev := f.indicators.Get(id)
 	if !f.written[id] {
@@ -356,6 +433,9 @@ type Stats struct {
 	DrowsyBankCycles      uint64
 	Cycles                uint64
 	ReadBeforeWrite       uint64
+	// RedirectedWrites counts compressed register writes whose bank
+	// placement was steered away from a faulty bank (RRCD redirection).
+	RedirectedWrites uint64
 }
 
 // Snapshot returns the current statistics.
@@ -373,6 +453,7 @@ func (f *File) Snapshot() Stats {
 	s.DrowsyBankCycles = f.drowsyBankCycles
 	s.Cycles = f.cycles
 	s.ReadBeforeWrite = f.readBeforeWrite
+	s.RedirectedWrites = f.redirectedWrites
 	return s
 }
 

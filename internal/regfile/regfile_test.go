@@ -255,3 +255,93 @@ func TestValidBitInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRedirectPlacement: with RRCD redirection, a compressed register's
+// slices land in the cluster's healthy banks first; without it, placement
+// stays physical even when a bank is stuck.
+func TestRedirectPlacement(t *testing.T) {
+	id := 0 // cluster 0: banks 0..7; banks 1 and 2 are stuck
+	var buf [BanksPerCluster]int
+
+	r := New(Config{FaultyBanks: []int{1, 2}, RedirectCompressed: true})
+	r.CommitWrite(id, core.Enc41, true, 1) // needs 3 banks
+	banks := r.ReadBanks(id, 0xFFFFFFFF, buf[:0])
+	want := []int{0, 3, 4} // healthy-first order skips 1 and 2
+	if len(banks) != len(want) {
+		t.Fatalf("redirected banks %v, want %v", banks, want)
+	}
+	for i := range want {
+		if banks[i] != want[i] {
+			t.Fatalf("redirected banks %v, want %v", banks, want)
+		}
+	}
+
+	n := New(Config{FaultyBanks: []int{1, 2}})
+	n.CommitWrite(id, core.Enc41, true, 1)
+	banks = n.ReadBanks(id, 0xFFFFFFFF, buf[:0])
+	for i, b := range []int{0, 1, 2} {
+		if banks[i] != b {
+			t.Fatalf("unredirected banks %v, want [0 1 2]", banks)
+		}
+	}
+}
+
+// TestRedirectSpill: when a cluster has fewer healthy banks than the
+// encoding needs, the overflow spills into faulty banks (last in order)
+// rather than panicking or leaving slices unplaced.
+func TestRedirectSpill(t *testing.T) {
+	// 6 of cluster 0's 8 banks are stuck; Enc42 needs 5.
+	f := New(Config{FaultyBanks: []int{0, 1, 2, 3, 4, 5}, RedirectCompressed: true})
+	var buf [BanksPerCluster]int
+	f.CommitWrite(0, core.Enc42, true, 1)
+	banks := f.ReadBanks(0, 0xFFFFFFFF, buf[:0])
+	want := []int{6, 7, 0, 1, 2} // two healthy first, then faulty in order
+	for i := range want {
+		if banks[i] != want[i] {
+			t.Fatalf("spill banks %v, want %v", banks, want)
+		}
+	}
+}
+
+// TestRedirectedWriteCount: only compressed writes whose default striping
+// would have hit a faulty bank count as redirected.
+func TestRedirectedWriteCount(t *testing.T) {
+	f := New(Config{FaultyBanks: []int{6}, RedirectCompressed: true}) // cluster 0, local bank 6
+	f.CommitWrite(0, core.Enc40, true, 1)                             // 1 bank: never reaches 6
+	f.CommitWrite(0, core.Enc42, true, 2)                             // 5 banks: still short of 6
+	if got := f.Snapshot().RedirectedWrites; got != 0 {
+		t.Fatalf("RedirectedWrites = %d before any placement change", got)
+	}
+	g := New(Config{FaultyBanks: []int{1}, RedirectCompressed: true})
+	g.CommitWrite(0, core.Enc41, true, 1) // 3 banks: default would hit bank 1
+	g.CommitWrite(0, core.EncUncompressed, true, 2)
+	if got := g.Snapshot().RedirectedWrites; got != 1 {
+		t.Fatalf("RedirectedWrites = %d, want 1 (uncompressed writes never redirect)", got)
+	}
+}
+
+// TestRedirectEncodingTransition: shrinking and growing a register across
+// encodings under redirection keeps valid bits consistent — FreeWarp must
+// leave the file completely empty afterwards.
+func TestRedirectEncodingTransition(t *testing.T) {
+	f := New(Config{GatingEnabled: true, FaultyBanks: []int{0, 9}, RedirectCompressed: true})
+	if err := f.AllocWarp(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		id := RegID(0, r, 4)
+		f.CommitWrite(id, core.EncUncompressed, true, 1)
+		f.CommitWrite(id, core.Enc42, true, 2)
+		f.CommitWrite(id, core.Enc40, true, 3)
+		f.CommitWrite(id, core.Enc41, true, 4)
+	}
+	f.FreeWarp(0, 4, 5)
+	for i := range f.banks {
+		if f.banks[i].validCount != 0 {
+			t.Fatalf("bank %d holds %d valid entries after FreeWarp", i, f.banks[i].validCount)
+		}
+	}
+	if f.numGated != NumBanks {
+		t.Fatalf("%d banks gated after FreeWarp, want all %d", f.numGated, NumBanks)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/regfile"
 )
 
 // Config carries every microarchitectural parameter of paper Table 2 plus
@@ -77,6 +79,12 @@ type Config struct {
 	// (Figs 2 and 5) on every register write.
 	CharacterizeWrites bool
 
+	// Faults configures deterministic register-file fault injection
+	// (internal/faults): permanent stuck-at bank failures, transient
+	// write-back bit flips and RRCD-style redirection of compressed
+	// registers into healthy banks. The zero value disables injection.
+	Faults faults.Config
+
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
 }
@@ -125,45 +133,64 @@ func BaselineConfig() Config {
 	return c
 }
 
-// Validate rejects nonsensical parameter combinations.
+// ConfigError is a typed Config validation failure: which field (or field
+// combination) is impossible and why. All Validate errors are *ConfigError
+// except fault-model failures, which surface as *faults.ConfigError.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects nonsensical parameter combinations with typed errors.
 func (c *Config) Validate() error {
 	switch {
 	case c.NumSMs < 1:
-		return fmt.Errorf("sim: need at least one SM")
+		return &ConfigError{"NumSMs", "need at least one SM"}
 	case c.SchedulersPerSM < 1:
-		return fmt.Errorf("sim: need at least one scheduler")
+		return &ConfigError{"SchedulersPerSM", "need at least one scheduler"}
 	case c.MaxWarpsPerSM < 1 || c.MaxWarpsPerSM%c.SchedulersPerSM != 0:
-		return fmt.Errorf("sim: MaxWarpsPerSM must be a positive multiple of SchedulersPerSM")
+		return &ConfigError{"MaxWarpsPerSM", fmt.Sprintf("%d is not a positive multiple of the %d schedulers", c.MaxWarpsPerSM, c.SchedulersPerSM)}
+	case !regfile.FitsWarps(1, 1):
+		// Unreachable with the compiled-in geometry; guards refactors.
+		return &ConfigError{"MaxWarpsPerSM", "register file cannot hold a single warp register"}
 	case c.MaxCTAsPerSM < 1:
-		return fmt.Errorf("sim: need at least one CTA slot")
+		return &ConfigError{"MaxCTAsPerSM", "need at least one CTA slot"}
 	case c.Collectors < 1:
-		return fmt.Errorf("sim: need at least one operand collector")
-	case c.Compressors < 1 || c.Decompressors < 1:
-		return fmt.Errorf("sim: need at least one compressor and decompressor")
+		return &ConfigError{"Collectors", "need at least one operand collector"}
+	case c.Compressors < 1:
+		return &ConfigError{"Compressors", "need at least one compressor"}
+	case c.Decompressors < 1:
+		return &ConfigError{"Decompressors", "need at least one decompressor"}
 	case c.CompressLatency < 0 || c.DecompressLatency < 0:
-		return fmt.Errorf("sim: negative compression latency")
+		return &ConfigError{"CompressLatency", "negative compression latency"}
 	case c.ALULatency < 1 || c.SFULatency < 1:
-		return fmt.Errorf("sim: functional unit latencies must be >= 1")
+		return &ConfigError{"ALULatency", "functional unit latencies must be >= 1"}
 	case c.GlobalMemBytes < 4096:
-		return fmt.Errorf("sim: device memory too small")
+		return &ConfigError{"GlobalMemBytes", "device memory too small (minimum 4096 bytes)"}
 	case c.GlobalLatency < 1 || c.GlobalMaxInflight < 1 || c.SharedLatency < 1:
-		return fmt.Errorf("sim: invalid memory timing")
+		return &ConfigError{"GlobalLatency", "memory timings must be >= 1"}
 	case c.L1SizeKB < 0 || (c.L1SizeKB > 0 && (c.L1Ways < 1 || c.L1HitLatency < 1)):
-		return fmt.Errorf("sim: invalid L1 cache configuration")
+		return &ConfigError{"L1SizeKB", "invalid L1 cache configuration"}
 	case c.BankWakeupLatency < 0:
-		return fmt.Errorf("sim: negative wakeup latency")
+		return &ConfigError{"BankWakeupLatency", "negative wakeup latency"}
 	case c.MaxCycles == 0:
-		return fmt.Errorf("sim: MaxCycles must be positive")
+		return &ConfigError{"MaxCycles", "must be positive"}
 	case c.Scheduler != "gto" && c.Scheduler != "lrr":
-		return fmt.Errorf("sim: unknown scheduler %q", c.Scheduler)
+		return &ConfigError{"Scheduler", fmt.Sprintf("unknown scheduler %q (have gto, lrr)", c.Scheduler)}
 	case c.DivergencePolicy != "" && c.DivergencePolicy != "uncompressed" && c.DivergencePolicy != "recompress":
-		return fmt.Errorf("sim: unknown divergence policy %q", c.DivergencePolicy)
+		return &ConfigError{"DivergencePolicy", fmt.Sprintf("unknown policy %q (have uncompressed, recompress)", c.DivergencePolicy)}
 	case c.RFCEntries < 0:
-		return fmt.Errorf("sim: negative RFC size")
+		return &ConfigError{"RFCEntries", "negative RFC size"}
 	case c.DrowsyAfter < 0:
-		return fmt.Errorf("sim: negative drowsy threshold")
+		return &ConfigError{"DrowsyAfter", "negative drowsy threshold"}
 	case c.RFCEntries > 0 && c.Mode.Enabled():
-		return fmt.Errorf("sim: the RFC comparator and warped-compression are mutually exclusive")
+		return &ConfigError{"RFCEntries", "the RFC comparator and warped-compression are mutually exclusive"}
+	case c.Faults.Redirect && !c.Mode.Enabled():
+		return &ConfigError{"Faults.Redirect", "RRCD redirection needs compression (only compressed registers can move banks)"}
 	}
-	return nil
+	return c.Faults.Validate(regfile.NumBanks)
 }

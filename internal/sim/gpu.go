@@ -2,7 +2,9 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/energy"
@@ -11,6 +13,11 @@ import (
 	"repro/internal/regfile"
 	"repro/internal/stats"
 )
+
+// ErrMaxCycles marks a simulation aborted for exceeding Config.MaxCycles —
+// a deadlock or runaway kernel (under fault injection, often a corrupted
+// loop bound). Test with errors.Is.
+var ErrMaxCycles = errors.New("sim: exceeded MaxCycles")
 
 // GPU is the full device: NumSMs streaming multiprocessors sharing one
 // global memory, plus the grid-level CTA dispatcher.
@@ -64,6 +71,16 @@ func (g *GPU) Run(l isa.Launch) (*Result, error) {
 // GPU's SM state is left mid-launch and must be considered dirty; device
 // global memory remains readable.
 func (g *GPU) RunContext(ctx context.Context, l isa.Launch) (*Result, error) {
+	return g.RunContextBeat(ctx, l, nil)
+}
+
+// RunContextBeat is RunContext with a progress heartbeat: at every context
+// poll (each cancelCheckInterval cycles) the total number of instructions
+// issued so far is stored into beat. An external watchdog that sees the
+// value stop advancing knows the simulation is making no forward progress —
+// instructions, not cycles, so a deadlocked pipeline that still burns
+// cycles reads as stalled. beat may be nil.
+func (g *GPU) RunContextBeat(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -121,9 +138,16 @@ func (g *GPU) RunContext(ctx context.Context, l isa.Launch) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: canceled at cycle %d: %w", cycle, err)
 			}
+			if beat != nil {
+				var issued uint64
+				for _, sm := range g.sms {
+					issued += sm.st.Instructions
+				}
+				beat.Store(issued)
+			}
 		}
 		if cycle > g.cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock or runaway kernel?)", g.cfg.MaxCycles)
+			return nil, fmt.Errorf("%w: %d cycles (deadlock or runaway kernel?)", ErrMaxCycles, g.cfg.MaxCycles)
 		}
 	}
 

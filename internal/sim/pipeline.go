@@ -280,8 +280,8 @@ func (s *SM) needCompressor(f *inflight) bool {
 	return !f.partial || f.mergedStore
 }
 
-// commitWrite finishes a register write: register file metadata, scoreboard
-// release and statistics.
+// commitWrite finishes a register write: register file metadata, fault
+// corruption, scoreboard release and statistics.
 func (s *SM) commitWrite(f *inflight) {
 	full := !f.partial || f.mergedStore
 	s.rfFile.CommitWrite(f.dstID, f.enc, full, s.cycle)
@@ -292,6 +292,9 @@ func (s *SM) commitWrite(f *inflight) {
 	} else {
 		dst = f.in.Dst
 	}
+	// Corrupt before clearing the scoreboard bit: dependent readers cannot
+	// have issued yet, so the corrupted value is exactly what they see.
+	s.applyFaults(f, dst, full)
 	f.w.regBusy &^= 1 << dst
 
 	if f.dummy {
@@ -324,6 +327,52 @@ func (s *SM) commitWrite(f *inflight) {
 	if s.cfg.CharacterizeWrites {
 		s.st.WriteBins[phase][trace.BinOf(&f.res.dstVals)]++
 		s.st.BDIChoices[trace.ExplorerChoice(&f.res.dstVals)]++
+	}
+}
+
+// applyFaults models register-file corruption on the write that just
+// committed, mutating the warp's functional register state (scoreboarding
+// guarantees no dependent instruction has read it yet).
+//
+// Stuck-at: every write whose data passed through a stuck bank reads back
+// XORed with the bank's pattern. For an uncompressed write the bank holds 4
+// specific lanes; a compressed slice fans out through the decompressor, so
+// a stuck bank there corrupts every lane. Transient: at most one single-bit
+// upset per register write, drawn from the injector's seeded stream.
+func (s *SM) applyFaults(f *inflight, dst isa.Reg, full bool) {
+	inj := s.inj
+	if inj == nil {
+		return
+	}
+	regs := &f.w.regs[dst]
+	stuck := false
+	for _, b := range f.wbBanks {
+		if !inj.BankFaulty(b) {
+			continue
+		}
+		stuck = true
+		pat := inj.StuckPattern(b)
+		if f.enc.IsCompressed() {
+			for l := range regs {
+				regs[l] ^= pat
+			}
+			s.st.FaultCorruptedLanes += uint64(len(regs))
+		} else {
+			base := (b % regfile.BanksPerCluster) * 4
+			for l := base; l < base+4; l++ {
+				if full || f.eff&(1<<l) != 0 {
+					regs[l] ^= pat
+					s.st.FaultCorruptedLanes++
+				}
+			}
+		}
+	}
+	if stuck {
+		s.st.FaultStuckWrites++
+	}
+	if lane, bit, ok := inj.TransientFlip(); ok {
+		regs[lane] ^= 1 << bit
+		s.st.FaultTransientFlips++
 	}
 }
 

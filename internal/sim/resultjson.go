@@ -50,6 +50,9 @@ type regfileJSON struct {
 	DrowsyBankCycles   uint64   `json:"drowsy_bank_cycles"`
 	Cycles             uint64   `json:"cycles"`
 	ReadBeforeWrite    uint64   `json:"read_before_write"`
+	// Added within v1 (fault-injection support); absent in older
+	// documents, which decode as zero.
+	RedirectedWrites uint64 `json:"redirected_writes,omitempty"`
 }
 
 type statsJSON struct {
@@ -90,6 +93,13 @@ type statsJSON struct {
 	StallCollector  uint64 `json:"stall_collector"`
 	StallCompressor uint64 `json:"stall_compressor"`
 	StallWakeup     uint64 `json:"stall_wakeup"`
+
+	// Fault-injection counters, added within v1; zero (and omitted) when
+	// injection is off, so fault-free documents are byte-identical to
+	// pre-fault writers.
+	FaultStuckWrites    uint64 `json:"fault_stuck_writes,omitempty"`
+	FaultCorruptedLanes uint64 `json:"fault_corrupted_lanes,omitempty"`
+	FaultTransientFlips uint64 `json:"fault_transient_flips,omitempty"`
 }
 
 type energyEventsJSON struct {
@@ -146,6 +156,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 			DrowsyBankCycles:   s.RF.DrowsyBankCycles,
 			Cycles:             s.RF.Cycles,
 			ReadBeforeWrite:    s.RF.ReadBeforeWrite,
+			RedirectedWrites:   s.RF.RedirectedWrites,
 		},
 		CompActs:        s.CompActs,
 		DecompActs:      s.DecompActs,
@@ -161,6 +172,10 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		StallCollector:  s.StallCollector,
 		StallCompressor: s.StallCompressor,
 		StallWakeup:     s.StallWakeup,
+
+		FaultStuckWrites:    s.FaultStuckWrites,
+		FaultCorruptedLanes: s.FaultCorruptedLanes,
+		FaultTransientFlips: s.FaultTransientFlips,
 	}
 	sj.CensusCompressed.NonDivergent = s.CensusCompressed[stats.NonDivergent]
 	sj.CensusCompressed.Divergent = s.CensusCompressed[stats.Divergent]
@@ -218,6 +233,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		DrowsyBankCycles:  sj.RegFile.DrowsyBankCycles,
 		Cycles:            sj.RegFile.Cycles,
 		ReadBeforeWrite:   sj.RegFile.ReadBeforeWrite,
+		RedirectedWrites:  sj.RegFile.RedirectedWrites,
 	}
 	copyBins(s.RF.PerBankReads[:], sj.RegFile.PerBankReads)
 	copyBins(s.RF.PerBankWrites[:], sj.RegFile.PerBankWrites)
@@ -236,6 +252,9 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	s.StallCollector = sj.StallCollector
 	s.StallCompressor = sj.StallCompressor
 	s.StallWakeup = sj.StallWakeup
+	s.FaultStuckWrites = sj.FaultStuckWrites
+	s.FaultCorruptedLanes = sj.FaultCorruptedLanes
+	s.FaultTransientFlips = sj.FaultTransientFlips
 	r.Energy = energy.Events{
 		BankAccesses:      doc.EnergyEvents.BankAccesses,
 		WireBeats:         doc.EnergyEvents.WireBeats,

@@ -24,6 +24,10 @@ func resultFixture(t *testing.T) *Result {
 	res.Stats.CensusCompressed[1] = 2.5
 	res.Energy.RFCAccesses = 15
 	res.Energy.RFCKB = 36
+	res.Stats.FaultStuckWrites = 16
+	res.Stats.FaultCorruptedLanes = 17
+	res.Stats.FaultTransientFlips = 18
+	res.Stats.RF.RedirectedWrites = 19
 	return res
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regfile"
@@ -48,8 +49,23 @@ type SM struct {
 	liveWarps       int
 	collectorsInUse int // inflight instructions still in stCollect
 
+	inj *faults.Injector // nil unless fault injection is configured
+
 	st  stats.Stats
 	err error
+}
+
+// regfileConfig derives the SM's register file configuration, including the
+// fault topology realized for this SM (rebuilt per launch so every launch
+// sees the identical, seed-determined pattern).
+func (s *SM) regfileConfig() regfile.Config {
+	cfg := s.cfg
+	rc := regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter}
+	if s.inj != nil {
+		rc.FaultyBanks = s.inj.FaultyBanks()
+		rc.RedirectCompressed = cfg.Faults.Redirect
+	}
+	return rc
 }
 
 func newSM(id int, gpu *GPU) *SM {
@@ -60,11 +76,14 @@ func newSM(id int, gpu *GPU) *SM {
 		gpu:     gpu,
 		warps:   make([]*Warp, cfg.MaxWarpsPerSM),
 		ctas:    make([]*ctaState, cfg.MaxCTAsPerSM),
-		rfFile:  regfile.New(regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter}),
 		comp:    core.NewUnitPool(cfg.Compressors, cfg.CompressLatency),
 		decomp:  core.NewUnitPool(cfg.Decompressors, cfg.DecompressLatency),
 		memPipe: mem.NewPipe(cfg.GlobalLatency, cfg.GlobalMaxInflight),
 	}
+	if cfg.Faults.Enabled() {
+		s.inj = faults.NewInjector(cfg.Faults, id, regfile.NumBanks)
+	}
+	s.rfFile = regfile.New(s.regfileConfig())
 	if cfg.L1SizeKB > 0 {
 		s.l1 = mem.NewCache(cfg.L1SizeKB<<10, cfg.L1Ways)
 	}
@@ -85,7 +104,14 @@ func (s *SM) reset(l isa.Launch) {
 	s.kernel = l.Kernel
 	s.inflight = s.inflight[:0]
 	s.st = stats.Stats{}
-	s.rfFile = regfile.New(regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter})
+	// Rebuild the injector so each launch draws the same seed-determined
+	// fault pattern and transient stream (per-launch determinism).
+	if cfg.Faults.Enabled() {
+		s.inj = faults.NewInjector(cfg.Faults, s.id, regfile.NumBanks)
+	} else {
+		s.inj = nil
+	}
+	s.rfFile = regfile.New(s.regfileConfig())
 	s.comp = core.NewUnitPool(cfg.Compressors, cfg.CompressLatency)
 	s.decomp = core.NewUnitPool(cfg.Decompressors, cfg.DecompressLatency)
 	s.memPipe = mem.NewPipe(cfg.GlobalLatency, cfg.GlobalMaxInflight)

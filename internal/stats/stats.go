@@ -101,6 +101,14 @@ type Stats struct {
 	StallCollector  uint64
 	StallCompressor uint64
 	StallWakeup     uint64
+
+	// Fault-injection events (internal/faults). Stuck writes are register
+	// writes that touched at least one stuck-at bank; corrupted lanes count
+	// the individual lanes XORed by stuck patterns; transient flips count
+	// soft-error single-bit upsets applied at write-back.
+	FaultStuckWrites    uint64
+	FaultCorruptedLanes uint64
+	FaultTransientFlips uint64
 }
 
 // Add merges another Stats (e.g. a second SM) into s. Cycles takes the max
@@ -139,6 +147,7 @@ func (s *Stats) Add(o *Stats) {
 	s.RF.DrowsyBankCycles += o.RF.DrowsyBankCycles
 	s.RF.Cycles += o.RF.Cycles
 	s.RF.ReadBeforeWrite += o.RF.ReadBeforeWrite
+	s.RF.RedirectedWrites += o.RF.RedirectedWrites
 	s.CompActs += o.CompActs
 	s.DecompActs += o.DecompActs
 	s.RFCReads += o.RFCReads
@@ -153,6 +162,9 @@ func (s *Stats) Add(o *Stats) {
 	s.StallCollector += o.StallCollector
 	s.StallCompressor += o.StallCompressor
 	s.StallWakeup += o.StallWakeup
+	s.FaultStuckWrites += o.FaultStuckWrites
+	s.FaultCorruptedLanes += o.FaultCorruptedLanes
+	s.FaultTransientFlips += o.FaultTransientFlips
 }
 
 // NonDivergentRatio is Fig 3: the fraction of warp instructions executed

@@ -24,11 +24,13 @@ package warped
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
@@ -110,6 +112,20 @@ const (
 	NonDivergent = stats.NonDivergent
 	Divergent    = stats.Divergent
 )
+
+// ConfigError is the typed validation failure of a Config: Field names the
+// offending field, Reason says why.
+type ConfigError = sim.ConfigError
+
+// FaultConfig selects the deterministic register-file fault campaign of a
+// simulation: permanently stuck-at banks, transient per-write bit flips,
+// and RRCD-style redirection of compressed registers into healthy banks.
+// The zero value disables injection. See Config.Faults.
+type FaultConfig = faults.Config
+
+// ParseFaultSpec parses a "key=value,..." fault specification (keys seed,
+// stuck, transient, redirect) as accepted by warpedsim -inject.
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // DefaultConfig returns paper Table 2 with warped-compression on.
 func DefaultConfig() Config { return sim.DefaultConfig() }
@@ -204,21 +220,56 @@ const (
 	ExperimentJobStart = experiments.EventJobStart
 	ExperimentJobDone  = experiments.EventJobDone
 	ExperimentCacheHit = experiments.EventCacheHit
+	ExperimentJobRetry = experiments.EventJobRetry
 )
 
 // Table is one regenerated table/figure.
 type Table = experiments.Table
 
-// NewExperiments builds an experiment runner. ctx governs every simulation
-// it schedules: cancel it (or let its deadline expire) and in-flight runs
-// abort promptly with an error wrapping ctx.Err().
+// Report is the outcome of a partial (keep-going) experiment run: every
+// table that could be assembled plus a structured account of failed jobs
+// and exhibits.
+type Report = experiments.Report
+
+// JobFailure identifies one failed (benchmark, configuration) job.
+type JobFailure = experiments.JobFailure
+
+// ExhibitFailure records an exhibit that could not be assembled at all.
+type ExhibitFailure = experiments.ExhibitFailure
+
+// JobError is the typed failure of one simulation job, carrying the
+// benchmark, configuration signature and attempt count.
+type JobError = experiments.JobError
+
+// PanicError is a panic recovered from a simulation job or exhibit,
+// converted to an error so one broken workload cannot take down a suite.
+type PanicError = experiments.PanicError
+
+// StallError reports a job canceled by the progress watchdog.
+type StallError = experiments.StallError
+
+// TransientError marks a failure as retryable.
+type TransientError = experiments.TransientError
+
+// ErrOutputMismatch marks a simulation that completed with output differing
+// from the host reference; the Result is still returned alongside it.
+var ErrOutputMismatch = experiments.ErrOutputMismatch
+
+// ErrMaxCycles marks a simulation aborted by its cycle budget.
+var ErrMaxCycles = sim.ErrMaxCycles
+
+// NewExperiments builds an experiment runner, validating the base hardware
+// configuration (a *ConfigError describes the first invalid field). ctx
+// governs every simulation it schedules: cancel it (or let its deadline
+// expire) and in-flight runs abort promptly with an error wrapping
+// ctx.Err().
 //
-//	r := warped.NewExperiments(ctx,
+//	r, err := warped.NewExperiments(ctx,
 //	    warped.WithScale(warped.Medium),
 //	    warped.WithParallelism(0), // 0 = GOMAXPROCS
 //	    warped.WithProgress(func(ev warped.ExperimentEvent) { ... }))
 //	tables, err := r.RunAll()
-func NewExperiments(ctx context.Context, opts ...ExperimentOption) *ExperimentRunner {
+func NewExperiments(ctx context.Context, opts ...ExperimentOption) (*ExperimentRunner, error) {
 	return experiments.New(ctx, opts...)
 }
 
@@ -245,6 +296,18 @@ func WithProgressWriter(w io.Writer) ExperimentOption { return experiments.WithP
 // WithBaseConfig overrides the hardware configuration experiments derive
 // their per-exhibit configurations from.
 func WithBaseConfig(base Config) ExperimentOption { return experiments.WithBaseConfig(base) }
+
+// WithRetries grants every job n extra attempts after a transient failure
+// (TransientError or a watchdog stall); deterministic failures never retry.
+func WithRetries(n int) ExperimentOption { return experiments.WithRetries(n) }
+
+// WithRetryBackoff sets the first retry delay (default 100ms); each
+// subsequent retry doubles it.
+func WithRetryBackoff(d time.Duration) ExperimentOption { return experiments.WithRetryBackoff(d) }
+
+// WithWatchdog cancels any simulation that issues no new instructions for a
+// full window d, failing it with a *StallError. d <= 0 disables (default).
+func WithWatchdog(d time.Duration) ExperimentOption { return experiments.WithWatchdog(d) }
 
 // ExperimentIDs lists every regenerable exhibit (table1..3, fig2..fig21).
 func ExperimentIDs() []string { return experiments.IDs() }
