@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench report clean
+.PHONY: build test verify bench bench-full report clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,24 @@ verify:
 	$(GO) test -run=^$$ -fuzz=FuzzBDIRoundTrip -fuzztime=3s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
 
+# Benchmark-regression workflow (DESIGN.md §12): `make bench` runs the
+# benchmark filter BENCH with allocation reporting, BENCHCOUNT times, and
+# leaves two timestamped artifacts in the repo root:
+#   BENCH_<stamp>.txt   benchstat-comparable text (benchstat old.txt new.txt)
+#   BENCH_<stamp>.json  machine-readable warped.bench/v1 trajectory document
+BENCH ?= SimulatorThroughput|BDI|RegfileAccess
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 5
+STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
+
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem . > BENCH_$(STAMP).txt
+	@cat BENCH_$(STAMP).txt
+	$(GO) run ./cmd/benchjson -stamp $(STAMP) BENCH_$(STAMP).txt > BENCH_$(STAMP).json
+
+# bench-full runs every benchmark once, including the end-to-end exhibit
+# regenerations (slow).
+bench-full:
 	$(GO) test -bench=. -benchmem .
 
 report:

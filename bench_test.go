@@ -14,8 +14,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
+	"repro/internal/regfile"
 	"repro/internal/sim"
 	"repro/warped"
 )
@@ -32,6 +34,7 @@ func benchOpts() experiments.Options {
 // extracted from the resulting table.
 func benchExhibit(b *testing.B, id string, metricName string, metric func(*experiments.Table) float64) {
 	b.Helper()
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
@@ -188,6 +191,7 @@ func BenchmarkFig21(b *testing.B) {
 // is served from the memo cache.
 func benchSuite(b *testing.B, parallelism int) {
 	b.Helper()
+	b.ReportAllocs()
 	base := sim.DefaultConfig()
 	base.NumSMs = 4
 	for i := 0; i < b.N; i++ {
@@ -231,7 +235,8 @@ func BenchmarkBDICompress(b *testing.B) {
 	}
 }
 
-// BenchmarkBDIRoundTrip measures full byte-level compress + decompress.
+// BenchmarkBDIRoundTrip measures full byte-level compress + decompress on
+// the allocation-free path (CompressInto with a reused buffer).
 func BenchmarkBDIRoundTrip(b *testing.B) {
 	var w warped.WarpReg
 	for i := range w {
@@ -240,9 +245,11 @@ func BenchmarkBDIRoundTrip(b *testing.B) {
 	data := w.Bytes()
 	p := warped.BDIParams{Base: 4, Delta: 1}
 	out := make([]byte, len(data))
+	comp := make([]byte, 0, p.CompressedSize())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		comp, ok := warped.Compress(data, p)
+		var ok bool
+		comp, ok = warped.CompressInto(comp[:0], data, p)
 		if !ok {
 			b.Fatal("not compressible")
 		}
@@ -252,9 +259,57 @@ func BenchmarkBDIRoundTrip(b *testing.B) {
 	}
 }
 
+// benchRegfile drives the register file's per-access hot path: write-bank
+// selection, bank counting, commit, and read-bank selection, cycling through
+// every encoding so compressed and uncompressed placements both run.
+func benchRegfile(b *testing.B, cfg regfile.Config) {
+	b.Helper()
+	f := regfile.New(cfg)
+	const regsPerThread = 8
+	if err := f.AllocWarp(0, regsPerThread); err != nil {
+		b.Fatal(err)
+	}
+	encs := [...]core.Encoding{core.Enc40, core.EncUncompressed, core.Enc41, core.Enc42}
+	var buf [regfile.BanksPerCluster]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := regfile.RegID(0, i%regsPerThread, regsPerThread)
+		enc := encs[i%len(encs)]
+		now := uint64(i)
+		for _, bk := range f.WriteBanks(id, enc, 0xFFFFFFFF, true, buf[:0]) {
+			f.BankReady(bk, now)
+			f.CountWrite(bk, now)
+		}
+		f.CommitWrite(id, enc, true, now)
+		for _, bk := range f.ReadBanks(id, 0xFFFFFFFF, buf[:0]) {
+			f.CountRead(bk, now)
+		}
+		f.Tick(now)
+	}
+}
+
+// BenchmarkRegfileAccess measures ReadBanks/WriteBanks/CommitWrite on a
+// clean file with power gating (the warped configuration) and on a faulty
+// file with RRCD redirection steering compressed writes to healthy banks.
+func BenchmarkRegfileAccess(b *testing.B) {
+	b.Run("clean", func(b *testing.B) {
+		benchRegfile(b, regfile.Config{GatingEnabled: true, WakeupLatency: 10})
+	})
+	b.Run("rrcd-redirect", func(b *testing.B) {
+		benchRegfile(b, regfile.Config{
+			GatingEnabled:      true,
+			WakeupLatency:      10,
+			FaultyBanks:        []int{2, 11},
+			RedirectCompressed: true,
+		})
+	})
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed in
 // cycles/second on the pathfinder workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		cfg := warped.DefaultConfig()

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBDICompress   	 1000000	        26.62 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimulatorThroughput-8 	     601	   3994904 ns/op	    512153 sim-cycles/s	  418696 B/op	     675 allocs/op
+BenchmarkRegfileAccess/clean         	  100000	        40.33 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	2.807s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if doc.Pkg != "repro" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("metadata not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkBDICompress" || b.Procs != 1 || b.Iterations != 1000000 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if len(b.Metrics) != 3 || b.Metrics[0].Unit != "ns/op" || b.Metrics[0].Value != 26.62 {
+		t.Fatalf("first metrics: %+v", b.Metrics)
+	}
+
+	b = doc.Benchmarks[1]
+	if b.Name != "BenchmarkSimulatorThroughput" || b.Procs != 8 {
+		t.Fatalf("procs suffix not stripped: %+v", b)
+	}
+	if len(b.Metrics) != 4 || b.Metrics[1].Unit != "sim-cycles/s" || b.Metrics[1].Value != 512153 {
+		t.Fatalf("custom metric lost: %+v", b.Metrics)
+	}
+
+	if doc.Benchmarks[2].Name != "BenchmarkRegfileAccess/clean" {
+		t.Fatalf("sub-benchmark name mangled: %q", doc.Benchmarks[2].Name)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/prof"
 	"repro/warped"
 )
 
@@ -40,8 +41,20 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
 		keepOn   = flag.Bool("keep-going", false, "don't stop at the first failure: emit every healthy exhibit plus a failure report (exit 1 if anything failed)")
 		verbose  = flag.Bool("v", false, "log each simulation run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -110,6 +123,9 @@ func main() {
 		}
 		if rep.Failed() {
 			fmt.Fprint(os.Stderr, rep.Render())
+			if err := stopProf(); err != nil { // os.Exit skips the deferred flush
+				fmt.Fprintln(os.Stderr, err)
+			}
 			os.Exit(1)
 		}
 		return

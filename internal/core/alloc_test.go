@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+// TestCompressionHotPathAllocFree pins the allocation-free contract of the
+// per-register-access primitives: serializing a warp register into a reused
+// buffer, compressing into a reused buffer, decompressing into a caller
+// buffer, and classifying an encoding must not touch the heap.
+func TestCompressionHotPathAllocFree(t *testing.T) {
+	var w WarpReg
+	for i := range w {
+		w[i] = uint32(100 + 3*i)
+	}
+	p := Params{Base: 4, Delta: 1}
+	data := make([]byte, 0, WarpBytes)
+	comp := make([]byte, 0, p.CompressedSize())
+	out := make([]byte, WarpBytes)
+
+	var failure string
+	allocs := testing.AllocsPerRun(200, func() {
+		data = w.AppendBytes(data[:0])
+		var ok bool
+		comp, ok = CompressInto(comp[:0], data, p)
+		if !ok {
+			failure = "data not compressible with <4,1>"
+			return
+		}
+		if err := Decompress(comp, p, out); err != nil {
+			failure = err.Error()
+			return
+		}
+		if ModeWarped.Choose(&w) != Enc41 {
+			failure = "unexpected encoding choice"
+		}
+	})
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	if allocs != 0 {
+		t.Fatalf("compress/decompress round trip allocates %.1f objects/op, want 0", allocs)
+	}
+	for i := 0; i < WarpBytes; i++ {
+		if data[i] != out[i] {
+			t.Fatalf("round trip mismatch at byte %d: %#x != %#x", i, data[i], out[i])
+		}
+	}
+}

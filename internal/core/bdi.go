@@ -142,24 +142,35 @@ func maskFor(base int) uint64 {
 
 // Compress encodes data with parameters p into the byte layout
 // [base | delta_1 .. delta_{n-1}] (little-endian fields) and returns it, or
-// ok=false when the data is not compressible with p.
+// ok=false when the data is not compressible with p. It allocates the result;
+// hot paths should use CompressInto with a reusable buffer.
 func Compress(data []byte, p Params) (comp []byte, ok bool) {
 	if !Compressible(data, p) {
 		return nil, false
 	}
+	return CompressInto(make([]byte, 0, p.CompressedSize()), data, p)
+}
+
+// CompressInto appends the compressed form of data under parameters p to dst
+// and returns the extended slice, or ok=false (dst unchanged) when the data
+// is not compressible with p. With a caller-owned dst of capacity
+// p.CompressedSize() it performs no heap allocation.
+func CompressInto(dst, data []byte, p Params) (comp []byte, ok bool) {
+	if !Compressible(data, p) {
+		return dst, false
+	}
 	mask := maskFor(p.Base)
 	base := chunk(data, p.Base, 0)
 	chunks := WarpBytes / p.Base
-	comp = make([]byte, 0, p.CompressedSize())
 	var tmp [8]byte
 	putLE(tmp[:], base, p.Base)
-	comp = append(comp, tmp[:p.Base]...)
+	dst = append(dst, tmp[:p.Base]...)
 	for i := 1; i < chunks; i++ {
 		d := (chunk(data, p.Base, i) - base) & mask
 		putLE(tmp[:], d, p.Delta)
-		comp = append(comp, tmp[:p.Delta]...)
+		dst = append(dst, tmp[:p.Delta]...)
 	}
-	return comp, true
+	return dst, true
 }
 
 func putLE(buf []byte, v uint64, n int) {

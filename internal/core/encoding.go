@@ -10,13 +10,22 @@ import (
 type WarpReg [32]uint32
 
 // Bytes returns the 128-byte little-endian image of the warp register, the
-// form the BDI algorithm operates on.
+// form the BDI algorithm operates on. It allocates; hot paths should use
+// AppendBytes with a reusable buffer instead.
 func (w *WarpReg) Bytes() []byte {
-	out := make([]byte, WarpBytes)
+	return w.AppendBytes(make([]byte, 0, WarpBytes))
+}
+
+// AppendBytes appends the 128-byte little-endian image of the warp register
+// to buf and returns the extended slice. With a caller-owned buffer of
+// capacity WarpBytes it performs no heap allocation.
+func (w *WarpReg) AppendBytes(buf []byte) []byte {
+	n := len(buf)
+	buf = append(buf, make([]byte, WarpBytes)...)
 	for i, v := range w {
-		binary.LittleEndian.PutUint32(out[i*4:], v)
+		binary.LittleEndian.PutUint32(buf[n+i*4:], v)
 	}
-	return out
+	return buf
 }
 
 // WarpRegFromBytes parses a 128-byte image back into lane values.

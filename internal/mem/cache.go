@@ -7,9 +7,9 @@ package mem
 type Cache struct {
 	sets  int
 	ways  int
-	tags  [][]uint32 // [set][way], tag = segment index / sets
-	valid [][]bool
-	lru   [][]uint64 // last-use stamps
+	tags  []uint32 // flat [set*ways+way], tag = segment index / sets
+	valid []bool
+	lru   []uint64 // last-use stamps
 	tick  uint64
 
 	hits, misses uint64
@@ -23,16 +23,13 @@ func NewCache(sizeBytes, ways int) *Cache {
 		panic("mem: invalid cache geometry")
 	}
 	sets := sizeBytes / (ways * SegmentBytes)
-	c := &Cache{sets: sets, ways: ways}
-	c.tags = make([][]uint32, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint32, ways)
-		c.valid[i] = make([]bool, ways)
-		c.lru[i] = make([]uint64, ways)
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint32, sets*ways),
+		valid: make([]bool, sets*ways),
+		lru:   make([]uint64, sets*ways),
 	}
-	return c
 }
 
 // Access looks up the 128-byte segment containing addr, fills it on a miss,
@@ -41,23 +38,24 @@ func (c *Cache) Access(segment uint32) bool {
 	c.tick++
 	set := int(segment) % c.sets
 	tag := segment / uint32(c.sets)
-	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.lru[set][w] = c.tick
+	base := set * c.ways
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.tick
 			c.hits++
 			return true
 		}
-		if !c.valid[set][w] {
-			victim, oldest = w, 0
-		} else if c.lru[set][w] < oldest {
-			victim, oldest = w, c.lru[set][w]
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.lru[i] < oldest {
+			victim, oldest = i, c.lru[i]
 		}
 	}
 	c.misses++
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.lru[set][victim] = c.tick
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
 	return false
 }
 

@@ -18,21 +18,30 @@ const SegmentBytes = 128
 
 // Global is the device global memory: a flat byte-addressable array plus a
 // bump allocator so benchmarks can place their inputs.
+//
+// The backing store grows on demand: a fresh device is an empty slice, and
+// the first store beyond the current backing doubles it (bounded by the
+// configured capacity). Loads past the backing but within capacity read 0,
+// exactly what an eagerly zeroed array would return, so the lazy growth is
+// invisible to kernels — it only avoids zeroing (and committing) tens of
+// megabytes per GPU when a workload touches a fraction of the device.
 type Global struct {
-	data []byte
+	data []byte // backing store; len(data) <= size, grown on first store
+	size int    // device capacity in bytes
 	brk  uint32
 }
 
-// NewGlobal allocates a device memory of `size` bytes (word aligned).
+// NewGlobal builds a device memory of `size` bytes (word aligned). No
+// backing store is allocated until it is written.
 func NewGlobal(size int) *Global {
 	if size <= 0 || size%4 != 0 {
 		panic("mem: global size must be a positive multiple of 4")
 	}
-	return &Global{data: make([]byte, size)}
+	return &Global{size: size}
 }
 
 // Size returns the device memory capacity in bytes.
-func (g *Global) Size() int { return len(g.data) }
+func (g *Global) Size() int { return g.size }
 
 // Alloc reserves n bytes (rounded up to 128-byte alignment for clean
 // coalescing) and returns the device address.
@@ -41,8 +50,8 @@ func (g *Global) Alloc(n int) (uint32, error) {
 		return 0, fmt.Errorf("mem: negative allocation")
 	}
 	aligned := (uint32(n) + SegmentBytes - 1) &^ (SegmentBytes - 1)
-	if int(g.brk)+int(aligned) > len(g.data) {
-		return 0, fmt.Errorf("mem: out of device memory (%d requested, %d free)", n, len(g.data)-int(g.brk))
+	if int(g.brk)+int(aligned) > g.size {
+		return 0, fmt.Errorf("mem: out of device memory (%d requested, %d free)", n, g.size-int(g.brk))
 	}
 	addr := g.brk
 	g.brk += aligned
@@ -50,28 +59,56 @@ func (g *Global) Alloc(n int) (uint32, error) {
 }
 
 // Load32 reads a 32-bit word; addr must be 4-byte aligned and in bounds.
+// Words beyond the lazily grown backing store (but within capacity) read 0.
 func (g *Global) Load32(addr uint32) (uint32, error) {
+	if addr%4 == 0 && int(addr)+4 <= len(g.data) {
+		return binary.LittleEndian.Uint32(g.data[addr:]), nil
+	}
 	if err := g.check(addr); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(g.data[addr:]), nil
+	return 0, nil // untouched memory is zero
 }
 
-// Store32 writes a 32-bit word.
+// Store32 writes a 32-bit word, growing the backing store when the address
+// lies beyond it.
 func (g *Global) Store32(addr, v uint32) error {
+	if addr%4 == 0 && int(addr)+4 <= len(g.data) {
+		binary.LittleEndian.PutUint32(g.data[addr:], v)
+		return nil
+	}
 	if err := g.check(addr); err != nil {
 		return err
 	}
+	g.grow(int(addr) + 4)
 	binary.LittleEndian.PutUint32(g.data[addr:], v)
 	return nil
+}
+
+// grow extends the backing store to hold at least need bytes, doubling to
+// amortize the copy; total zeroing over a run stays O(bytes touched).
+func (g *Global) grow(need int) {
+	newLen := len(g.data) * 2
+	if newLen < need {
+		newLen = need
+	}
+	if newLen < 4096 {
+		newLen = 4096
+	}
+	if newLen > g.size {
+		newLen = g.size
+	}
+	data := make([]byte, newLen)
+	copy(data, g.data)
+	g.data = data
 }
 
 func (g *Global) check(addr uint32) error {
 	if addr%4 != 0 {
 		return fmt.Errorf("mem: unaligned access at 0x%x", addr)
 	}
-	if int(addr)+4 > len(g.data) {
-		return fmt.Errorf("mem: access at 0x%x beyond device memory (%d bytes)", addr, len(g.data))
+	if int(addr)+4 > g.size {
+		return fmt.Errorf("mem: access at 0x%x beyond device memory (%d bytes)", addr, g.size)
 	}
 	return nil
 }
@@ -152,26 +189,34 @@ func CoalesceSegments(addrs *[isa.WarpSize]uint32, mask uint32) int {
 // access phases (32 word-interleaved banks; broadcasts of the same word are
 // conflict-free).
 func SharedConflictDegree(addrs *[isa.WarpSize]uint32, mask uint32) int {
-	var banks [32][]uint32
+	// A word's value determines its bank, so deduplicating words globally
+	// and counting occupancy per bank is equivalent to keeping per-bank
+	// word lists — and needs only fixed-size stack arrays.
+	var seen [isa.WarpSize]uint32
+	var count [32]uint8
+	n := 0
 	degree := 0
 	for lane := 0; lane < isa.WarpSize; lane++ {
 		if mask&(1<<lane) == 0 {
 			continue
 		}
 		word := addrs[lane] / 4
-		b := word % 32
 		dup := false
-		for _, w := range banks[b] {
+		for _, w := range seen[:n] {
 			if w == word {
 				dup = true
 				break
 			}
 		}
-		if !dup {
-			banks[b] = append(banks[b], word)
-			if len(banks[b]) > degree {
-				degree = len(banks[b])
-			}
+		if dup {
+			continue
+		}
+		seen[n] = word
+		n++
+		b := word % 32
+		count[b]++
+		if int(count[b]) > degree {
+			degree = int(count[b])
 		}
 	}
 	if degree == 0 {

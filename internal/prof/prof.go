@@ -1,0 +1,55 @@
+// Package prof wires the runtime/pprof CPU and heap profilers into the
+// command-line tools: one call after flag parsing starts the requested
+// profiles, and the returned stop function flushes them on the way out.
+//
+// The profiles are the entry point of the performance workflow documented in
+// DESIGN.md §12: capture with -cpuprofile/-memprofile, inspect with
+// `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU and/or heap profiling. Either path may be empty to skip
+// that profile. The returned stop function is always non-nil and safe to
+// call once; it stops the CPU profile and writes the heap profile (after a
+// GC, so the snapshot shows live memory rather than collection timing).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close CPU profile: %w", err)
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+			memPath = ""
+		}
+		return nil
+	}, nil
+}

@@ -96,7 +96,8 @@ type File struct {
 	order       [NumClusters][BanksPerCluster]uint8
 	firstFaulty [NumClusters]uint8
 
-	numGated int
+	numGated  int
+	numWaking int
 
 	// Aggregate statistics.
 	poweredBankCycles uint64
@@ -270,6 +271,7 @@ func (f *File) BankReady(bankIdx int, now uint64) uint64 {
 		b.state = stateWaking
 		b.wakeReady = now + uint64(f.cfg.WakeupLatency)
 		f.numGated--
+		f.numWaking++
 		return b.wakeReady
 	}
 }
@@ -400,10 +402,16 @@ func (f *File) FreeWarp(slot, regsPerThread int, now uint64) {
 func (f *File) Tick(now uint64) {
 	f.cycles++
 	f.poweredBankCycles += uint64(NumBanks - f.numGated)
+	// Fast path: with no bank mid-wakeup and drowsy tracking off, the
+	// per-bank scan observes nothing — the accounting above is complete.
+	if f.numWaking == 0 && f.cfg.DrowsyAfter <= 0 {
+		return
+	}
 	for i := range f.banks {
 		b := &f.banks[i]
 		if b.state == stateWaking && now >= b.wakeReady {
 			b.state = stateOn
+			f.numWaking--
 		}
 		if f.cfg.DrowsyAfter > 0 && b.state == stateOn && now-b.lastTouch > uint64(f.cfg.DrowsyAfter) {
 			b.drowsyCycles++

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// TestSteadyStateStepAllocFree pins down the tentpole property of the
+// scratch-arena work: once the pools are warm, an SM cycle (pipeline
+// advance + issue + register-file tick) performs zero heap allocations.
+func TestSteadyStateStepAllocFree(t *testing.T) {
+	c := testConfig()
+	c.NumSMs = 1
+	g, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// A long uniform loop touching the ALU, the compressor path and global
+	// memory in both directions, so the measured steps exercise the full
+	// issue/execute/writeback machinery.
+	src := `
+	mov  r0, %tid.x
+	shl  r1, r0, 2
+	mov  r2, 0
+Lloop:
+	ld.global r3, [r1]
+	add  r3, r3, 1
+	st.global [r1], r3
+	add  r2, r2, 1
+	setp.lt p0, r2, 1000000
+@p0	bra Lloop
+	exit
+`
+	k, err := asm.Assemble("steady", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if err := cfg.ComputeReconvergence(k); err != nil {
+		t.Fatalf("ComputeReconvergence: %v", err)
+	}
+	l := isa.Launch{Kernel: k, Grid: isa.Dim3{X: 4}, Block: isa.Dim3{X: 64}}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	sm := g.sms[0]
+	sm.reset(l)
+	nextCTA := 0
+	cycle := uint64(0)
+	step := func() {
+		cycle++
+		if nextCTA < l.NumCTAs() && sm.tryLaunchCTA(nextCTA) {
+			nextCTA++
+		}
+		sm.step(cycle)
+		if sm.err != nil {
+			t.Fatalf("cycle %d: %v", cycle, sm.err)
+		}
+	}
+	// Warm-up: grow every pool and scratch buffer to steady-state size.
+	for i := 0; i < 2000; i++ {
+		step()
+	}
+	if !sm.busy() {
+		t.Fatal("kernel drained during warm-up; steady-state window too short")
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("steady-state SM step allocates %.1f objects/cycle, want 0", allocs)
+	}
+	if !sm.busy() {
+		t.Fatal("kernel drained during measurement; steady-state window too short")
+	}
+}
+
+// TestChooseEncMemo proves the encoding memo actually short-circuits the
+// scan: a deliberately poisoned cache entry is returned verbatim on the
+// unchanged-value path, and repaired as soon as the value changes or the
+// entry is invalidated.
+func TestChooseEncMemo(t *testing.T) {
+	s := &SM{}
+	w := newWarp(0, 0, 0, 0, isa.WarpSize, 8, 1)
+	const dst = isa.Reg(3)
+
+	var res execResult
+	for i := range res.dstVals {
+		res.dstVals[i] = uint32(100 + i) // stride 1: classifies as <4,1>
+	}
+	res.unchanged = true
+
+	// First classification populates the cache even on the unchanged path.
+	want := core.ModeWarped.Choose(&res.dstVals)
+	if got := s.chooseEnc(w, dst, &res, core.ModeWarped); got != want {
+		t.Fatalf("cold chooseEnc = %v, want %v", got, want)
+	}
+	if w.encValid&(1<<dst) == 0 {
+		t.Fatal("cache entry not marked valid after classification")
+	}
+
+	// Poison the entry: an unchanged value must hit the memo, not rescan.
+	w.encCache[dst] = core.EncUncompressed
+	if got := s.chooseEnc(w, dst, &res, core.ModeWarped); got != core.EncUncompressed {
+		t.Fatalf("unchanged value rescanned (got %v); memo not consulted", got)
+	}
+
+	// A changed value bypasses the memo and repairs the entry.
+	res.unchanged = false
+	if got := s.chooseEnc(w, dst, &res, core.ModeWarped); got != want {
+		t.Fatalf("changed value chooseEnc = %v, want %v", got, want)
+	}
+	if w.encCache[dst] != want {
+		t.Fatalf("cache not repaired: %v, want %v", w.encCache[dst], want)
+	}
+
+	// Invalidation (applyFaults clears the bit on corruption) forces a
+	// rescan even when the value is unchanged.
+	res.unchanged = true
+	w.encValid &^= 1 << dst
+	w.encCache[dst] = core.EncUncompressed
+	if got := s.chooseEnc(w, dst, &res, core.ModeWarped); got != want {
+		t.Fatalf("invalidated entry chooseEnc = %v, want %v", got, want)
+	}
+}

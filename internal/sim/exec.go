@@ -9,15 +9,22 @@ import (
 )
 
 // execResult carries the functional outcome of an issued instruction into
-// the timing pipeline.
+// the timing pipeline. It lives inside an inflight record (never copied once
+// issued) and owns fixed-size buffers for the coalesced segment list, so the
+// per-instruction path performs no heap allocation.
 type execResult struct {
 	dstVals   core.WarpReg // merged destination vector (valid when writes)
 	writes    bool         // instruction produces a register write
+	unchanged bool         // dstVals equals the register's previous committed value
 	addrs     [isa.WarpSize]uint32
-	segs      []uint32 // coalesced 128-byte segments (global memory ops)
-	sharedDeg int      // shared-memory conflict phases (shared ops)
-	atomDeg   int      // same-address serialization phases (atomics)
+	segBuf    [isa.WarpSize]uint32 // backing for the coalesced segment list
+	nsegs     int                  // coalesced 128-byte segments (global memory ops)
+	sharedDeg int                  // shared-memory conflict phases (shared ops)
+	atomDeg   int                  // same-address serialization phases (atomics)
 }
+
+// segs returns the coalesced segment list of a global memory access.
+func (r *execResult) segs() []uint32 { return r.segBuf[:r.nsegs] }
 
 // special evaluates a hardware special register for one lane of a warp.
 func (s *SM) special(w *Warp, sp isa.Special, lane int) uint32 {
@@ -81,13 +88,17 @@ func (s *SM) operand(w *Warp, o isa.Operand, lane int) uint32 {
 
 // execute performs the architectural effect of instruction `in` at `pc` for
 // warp w: register/predicate/memory updates and SIMT control flow. `active`
-// is the stack active mask, `eff` the guard-filtered execution mask.
+// is the stack active mask, `eff` the guard-filtered execution mask. The
+// outcome is written into res (caller-owned, pre-zeroed); no allocation
+// happens on the success path.
 //
 // Control flow (PC advance, divergence, exit, barrier) is fully resolved
-// here; the returned execResult feeds the timing pipeline only.
-func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (execResult, error) {
-	var res execResult
+// here; res feeds the timing pipeline only. For register-writing ops,
+// res.unchanged reports that every executed lane produced the value the
+// register already held — the encoding memo key (see SM.chooseEnc).
+func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *execResult) error {
 	t := w.tos()
+	changed := false
 
 	switch in.Op {
 	case isa.OpNop:
@@ -106,7 +117,7 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 		if w.retireThreads(dying) {
 			s.warpExited(w)
 		}
-		return res, nil
+		return nil
 
 	case isa.OpBra:
 		rpc := s.kernel.ReconvPC[pc]
@@ -132,26 +143,30 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 		t.pc++
 
 	case isa.OpSelP:
-		old := w.regs[in.Dst]
-		res.dstVals = old
+		res.dstVals = w.regs[in.Dst]
 		psel := w.preds[in.PSrc]
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if eff&(1<<lane) == 0 {
 				continue
 			}
+			var v uint32
 			if psel&(1<<lane) != 0 {
-				res.dstVals[lane] = s.operand(w, in.Srcs[0], lane)
+				v = s.operand(w, in.Srcs[0], lane)
 			} else {
-				res.dstVals[lane] = s.operand(w, in.Srcs[1], lane)
+				v = s.operand(w, in.Srcs[1], lane)
+			}
+			if v != res.dstVals[lane] {
+				res.dstVals[lane] = v
+				changed = true
 			}
 		}
 		w.regs[in.Dst] = res.dstVals
 		res.writes = eff != 0
+		res.unchanged = !changed
 		t.pc++
 
 	case isa.OpLdG, isa.OpLdS:
-		old := w.regs[in.Dst]
-		res.dstVals = old
+		res.dstVals = w.regs[in.Dst]
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if eff&(1<<lane) == 0 {
 				continue
@@ -166,18 +181,21 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 				v, err = s.loadShared(w, addr)
 			}
 			if err != nil {
-				return res, fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
+				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
 			}
-			res.dstVals[lane] = v
+			if v != res.dstVals[lane] {
+				res.dstVals[lane] = v
+				changed = true
+			}
 		}
 		w.regs[in.Dst] = res.dstVals
 		res.writes = eff != 0
-		s.memTiming(&res, in.Op == isa.OpLdG, eff)
+		res.unchanged = !changed
+		s.memTiming(res, in.Op == isa.OpLdG, eff)
 		t.pc++
 
 	case isa.OpAtomAdd:
-		old := w.regs[in.Dst]
-		res.dstVals = old
+		res.dstVals = w.regs[in.Dst]
 		// Lanes apply in lane order; colliding addresses serialize, so
 		// each lane reads the running value (CUDA atomicAdd semantics
 		// for any one serialization order; lane order keeps it
@@ -190,17 +208,21 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 			res.addrs[lane] = addr
 			v, err := s.gpu.mem.Load32(addr)
 			if err != nil {
-				return res, fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
+				return fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
 			}
 			add := s.operand(w, in.Srcs[1], lane)
 			if err := s.gpu.mem.Store32(addr, v+add); err != nil {
-				return res, fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
+				return fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
 			}
-			res.dstVals[lane] = v
+			if v != res.dstVals[lane] {
+				res.dstVals[lane] = v
+				changed = true
+			}
 		}
 		w.regs[in.Dst] = res.dstVals
 		res.writes = eff != 0
-		s.memTiming(&res, true, eff)
+		res.unchanged = !changed
+		s.memTiming(res, true, eff)
 		res.atomDeg = atomicConflictDegree(&res.addrs, eff)
 		t.pc++
 
@@ -219,15 +241,14 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 				err = s.storeShared(w, addr, v)
 			}
 			if err != nil {
-				return res, fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
+				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
 			}
 		}
-		s.memTiming(&res, in.Op == isa.OpStG, eff)
+		s.memTiming(res, in.Op == isa.OpStG, eff)
 		t.pc++
 
 	default: // plain ALU/SFU register ops
-		old := w.regs[in.Dst]
-		res.dstVals = old
+		res.dstVals = w.regs[in.Dst]
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if eff&(1<<lane) == 0 {
 				continue
@@ -235,10 +256,14 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 			a := s.operand(w, in.Srcs[0], lane)
 			b := s.operand(w, in.Srcs[1], lane)
 			c := s.operand(w, in.Srcs[2], lane)
-			res.dstVals[lane] = isa.EvalALU(in.Op, a, b, c)
+			if v := isa.EvalALU(in.Op, a, b, c); v != res.dstVals[lane] {
+				res.dstVals[lane] = v
+				changed = true
+			}
 		}
 		w.regs[in.Dst] = res.dstVals
 		res.writes = eff != 0
+		res.unchanged = !changed
 		t.pc++
 	}
 
@@ -247,16 +272,17 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32) (exec
 		w.state = warpFinished
 		s.warpExited(w)
 	}
-	return res, nil
+	return nil
 }
 
-// memTiming fills the coalescing/conflict fields of a memory access result.
+// memTiming fills the coalescing/conflict fields of a memory access result,
+// reusing the result's own segment buffer.
 func (s *SM) memTiming(res *execResult, global bool, eff uint32) {
 	if eff == 0 {
 		return
 	}
 	if global {
-		res.segs = mem.CoalesceSegmentList(&res.addrs, eff, nil)
+		res.nsegs = len(mem.CoalesceSegmentList(&res.addrs, eff, res.segBuf[:0]))
 	} else {
 		res.sharedDeg = mem.SharedConflictDegree(&res.addrs, eff)
 	}

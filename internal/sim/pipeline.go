@@ -26,7 +26,10 @@ const (
 
 // inflight is one issued instruction traversing the timing pipeline. The
 // architectural work already happened at issue; this struct only tracks when
-// hardware resources are occupied.
+// hardware resources are occupied. Records are recycled through the SM's
+// inflightPool, and all bank lists live in fixed-size inline arrays (at most
+// 3 distinct sources plus a merged-destination read, 8 banks each), so the
+// steady-state pipeline allocates nothing.
 type inflight struct {
 	w       *Warp
 	in      *isa.Instr // nil for injected dummy MOVs
@@ -36,7 +39,8 @@ type inflight struct {
 	res     execResult
 
 	stage        pipeStage
-	pendingBanks []int
+	pendingBanks [4 * regfile.BanksPerCluster]uint8 // operand bank reads not yet granted
+	nPending     int
 	compSrcs     int    // compressed sources awaiting a decompressor
 	unitReady    uint64 // latest decompressor completion granted so far
 	readyAt      uint64 // current stage's completion cycle
@@ -44,7 +48,9 @@ type inflight struct {
 	dstID    int
 	dummyDst isa.Reg
 	enc      core.Encoding
-	wbBanks  []int
+	wbBanks  [regfile.BanksPerCluster]uint8 // writeback bank list (valid when wbReady)
+	nWB      int
+	wbReady  bool
 
 	mergedStore bool // recompress-policy partial write: stored full-width
 
@@ -61,6 +67,7 @@ func (s *SM) advancePipeline() {
 	for _, f := range s.inflight {
 		if s.advance(f) {
 			s.retire(f)
+			s.freeInflight(f)
 		} else {
 			out = append(out, f)
 		}
@@ -75,17 +82,20 @@ func (s *SM) advance(f *inflight) bool {
 	for {
 		switch f.stage {
 		case stCollect:
-			rem := f.pendingBanks[:0]
-			for _, b := range f.pendingBanks {
+			// Compact the still-blocked banks in place.
+			rem := 0
+			for i := 0; i < f.nPending; i++ {
+				b := int(f.pendingBanks[i])
 				if s.readPort[b] != s.cycle {
 					s.readPort[b] = s.cycle
 					s.rfFile.CountRead(b, s.cycle)
 				} else {
-					rem = append(rem, b)
+					f.pendingBanks[rem] = f.pendingBanks[i]
+					rem++
 				}
 			}
-			f.pendingBanks = rem
-			if len(f.pendingBanks) > 0 {
+			f.nPending = rem
+			if rem > 0 {
 				return false
 			}
 			s.collectorsInUse--
@@ -157,7 +167,7 @@ func (s *SM) advance(f *inflight) bool {
 				return false
 			}
 			f.readyAt = ready
-			f.enc = s.cfg.Mode.Choose(&f.res.dstVals)
+			f.enc = s.chooseEnc(f.w, f.in.Dst, &f.res, s.cfg.Mode)
 			f.stage = stCompressWait
 			continue
 
@@ -169,15 +179,20 @@ func (s *SM) advance(f *inflight) bool {
 			continue
 
 		case stWrite:
-			if f.wbBanks == nil {
+			if !f.wbReady {
 				var buf [regfile.BanksPerCluster]int
 				full := !f.partial || f.mergedStore
-				f.wbBanks = append([]int(nil), s.rfFile.WriteBanks(f.dstID, f.enc, f.eff, full, buf[:0])...)
+				banks := s.rfFile.WriteBanks(f.dstID, f.enc, f.eff, full, buf[:0])
+				for i, b := range banks {
+					f.wbBanks[i] = uint8(b)
+				}
+				f.nWB = len(banks)
+				f.wbReady = true
 			}
 			// Wake any gated banks; wait until every target bank is on.
 			maxReady := s.cycle
-			for _, b := range f.wbBanks {
-				if r := s.rfFile.BankReady(b, s.cycle); r > maxReady {
+			for _, b := range f.wbBanks[:f.nWB] {
+				if r := s.rfFile.BankReady(int(b), s.cycle); r > maxReady {
 					maxReady = r
 				}
 			}
@@ -187,14 +202,14 @@ func (s *SM) advance(f *inflight) bool {
 			}
 			// All-or-nothing write port acquisition keeps the
 			// multi-bank write atomic.
-			for _, b := range f.wbBanks {
+			for _, b := range f.wbBanks[:f.nWB] {
 				if s.writePort[b] == s.cycle {
 					return false
 				}
 			}
-			for _, b := range f.wbBanks {
+			for _, b := range f.wbBanks[:f.nWB] {
 				s.writePort[b] = s.cycle
-				s.rfFile.CountWrite(b, s.cycle)
+				s.rfFile.CountWrite(int(b), s.cycle)
 			}
 			s.commitWrite(f)
 			return true
@@ -239,7 +254,7 @@ func (s *SM) startGlobal(f *inflight) bool {
 		f.l1Checked = true
 		f.hitReady = s.cycle
 		if s.l1 != nil && f.in.Op == isa.OpLdG {
-			for _, seg := range f.res.segs {
+			for _, seg := range f.res.segs() {
 				if s.l1.Access(seg) {
 					f.hitReady = s.cycle + uint64(s.cfg.L1HitLatency)
 				} else {
@@ -249,7 +264,7 @@ func (s *SM) startGlobal(f *inflight) bool {
 		} else {
 			// Stores are write-through no-allocate; atomics resolve on
 			// the memory side, bypassing the L1.
-			f.missTxns = len(f.res.segs)
+			f.missTxns = f.res.nsegs
 		}
 	}
 	f.readyAt = f.hitReady
@@ -292,6 +307,23 @@ func (s *SM) commitWrite(f *inflight) {
 	} else {
 		dst = f.in.Dst
 	}
+	// Classify the achievable compressed size (Fig 8/15 measure the written
+	// data's compressibility independent of the divergence storage policy)
+	// before fault corruption invalidates the memo. When the write went
+	// through the compressor the same mode already classified this exact
+	// vector, so its encoding is reused directly.
+	var statsEnc core.Encoding
+	if !f.dummy {
+		if s.needCompressor(f) {
+			statsEnc = f.enc
+		} else {
+			mode := s.cfg.Mode
+			if !mode.Enabled() {
+				mode = core.ModeWarped
+			}
+			statsEnc = s.chooseEnc(f.w, dst, &f.res, mode)
+		}
+	}
 	// Corrupt before clearing the scoreboard bit: dependent readers cannot
 	// have issued yet, so the corrupted value is exactly what they see.
 	s.applyFaults(f, dst, full)
@@ -308,14 +340,7 @@ func (s *SM) commitWrite(f *inflight) {
 	s.st.RegWrites[phase]++
 	s.st.WriteOrigBanks[phase] += core.WarpBanks
 	s.st.WritesByEnc[phase][f.enc]++
-
-	// Achievable compressed size in banks (Fig 8/15 measure compressibility
-	// of the data independent of the divergence storage policy).
-	mode := s.cfg.Mode
-	if !mode.Enabled() {
-		mode = core.ModeWarped
-	}
-	s.st.WriteCompBanks[phase] += uint64(mode.Choose(&f.res.dstVals).Banks())
+	s.st.WriteCompBanks[phase] += uint64(statsEnc.Banks())
 
 	// Fig 12 census sample.
 	written, compressed, _ := s.rfFile.Occupancy()
@@ -346,7 +371,8 @@ func (s *SM) applyFaults(f *inflight, dst isa.Reg, full bool) {
 	}
 	regs := &f.w.regs[dst]
 	stuck := false
-	for _, b := range f.wbBanks {
+	for _, bb := range f.wbBanks[:f.nWB] {
+		b := int(bb)
 		if !inj.BankFaulty(b) {
 			continue
 		}
@@ -370,9 +396,16 @@ func (s *SM) applyFaults(f *inflight, dst isa.Reg, full bool) {
 	if stuck {
 		s.st.FaultStuckWrites++
 	}
+	flipped := false
 	if lane, bit, ok := inj.TransientFlip(); ok {
 		regs[lane] ^= 1 << bit
 		s.st.FaultTransientFlips++
+		flipped = true
+	}
+	// Corruption desynchronizes the register value from its memoized
+	// encoding classification; drop the memo entry.
+	if stuck || flipped {
+		f.w.encValid &^= 1 << dst
 	}
 }
 

@@ -51,8 +51,49 @@ type SM struct {
 
 	inj *faults.Injector // nil unless fault injection is configured
 
+	// Scratch arenas, owned exclusively by this SM (the cycle loop runs
+	// SMs sequentially and the experiment engine gives every job its own
+	// GPU, so no locking is needed; `go test -race` guards the invariant).
+	// They make the steady-state cycle path allocation-free:
+	//   - inflightPool / warpPool recycle retired records and their
+	//     backing arrays (register vectors, SIMT stacks, bank lists);
+	//   - cands is the scheduler candidate buffer rebuilt every cycle;
+	//   - slotScratch backs the free-slot scan of CTA launches.
+	inflightPool []*inflight
+	warpPool     []*Warp
+	cands        []sched.Candidate
+	slotScratch  []int
+
 	st  stats.Stats
 	err error
+}
+
+// allocInflight takes a zeroed inflight record from the SM's pool.
+func (s *SM) allocInflight() *inflight {
+	if n := len(s.inflightPool); n > 0 {
+		f := s.inflightPool[n-1]
+		s.inflightPool = s.inflightPool[:n-1]
+		*f = inflight{}
+		return f
+	}
+	return &inflight{}
+}
+
+// freeInflight returns a retired record to the pool for reuse.
+func (s *SM) freeInflight(f *inflight) {
+	s.inflightPool = append(s.inflightPool, f)
+}
+
+// allocWarpObj takes a recycled warp from the pool (or builds one) and
+// re-initializes it for the given slot.
+func (s *SM) allocWarpObj(slot, ctaSlot, ctaID, warpInCTA, liveThreads, numRegs int, age uint64) *Warp {
+	if n := len(s.warpPool); n > 0 {
+		w := s.warpPool[n-1]
+		s.warpPool = s.warpPool[:n-1]
+		w.reset(slot, ctaSlot, ctaID, warpInCTA, liveThreads, numRegs, age)
+		return w
+	}
+	return newWarp(slot, ctaSlot, ctaID, warpInCTA, liveThreads, numRegs, age)
 }
 
 // regfileConfig derives the SM's register file configuration, including the
@@ -166,24 +207,34 @@ func (s *SM) tryLaunchCTA(ctaID int) bool {
 		return false
 	}
 	limit := s.maxWarpSlots()
-	var free []int
+	free := s.slotScratch[:0]
 	for slot := 0; slot < limit && len(free) < warpsNeeded; slot++ {
 		if s.warps[slot] == nil {
 			free = append(free, slot)
 		}
 	}
+	s.slotScratch = free[:0] // retain grown backing for the next launch
 	if len(free) < warpsNeeded {
 		return false
 	}
 
 	cta := s.ctas[ctaSlot]
+	// Reuse the CTA slot's shared-memory slab and slot list across
+	// launches; a fresh CTA must observe zeroed shared memory.
+	shared := cta.shared
+	if cap(shared) >= s.kernel.SharedBytes {
+		shared = shared[:s.kernel.SharedBytes]
+		clear(shared)
+	} else {
+		shared = make([]byte, s.kernel.SharedBytes)
+	}
 	*cta = ctaState{
 		active:    true,
 		ctaID:     ctaID,
 		warpsLeft: warpsNeeded,
 		liveWarps: warpsNeeded,
-		shared:    make([]byte, s.kernel.SharedBytes),
-		slots:     free,
+		shared:    shared,
+		slots:     append(cta.slots[:0], free...),
 	}
 	threads := s.launch.ThreadsPerCTA()
 	for wi, slot := range free {
@@ -192,7 +243,7 @@ func (s *SM) tryLaunchCTA(ctaID int) bool {
 			live = isa.WarpSize
 		}
 		s.ageSeq++
-		w := newWarp(slot, ctaSlot, ctaID, wi, live, s.kernel.NumRegs, s.ageSeq)
+		w := s.allocWarpObj(slot, ctaSlot, ctaID, wi, live, s.kernel.NumRegs, s.ageSeq)
 		s.warps[slot] = w
 		if err := s.rfFile.AllocWarp(slot, s.kernel.NumRegs); err != nil {
 			s.err = err
@@ -214,8 +265,8 @@ func (s *SM) step(cycle uint64) {
 // issueAll lets every scheduler issue at most one instruction.
 func (s *SM) issueAll() {
 	nsched := s.cfg.SchedulersPerSM
-	var cands []sched.Candidate
-	for si := 0; si < nsched; si++ {
+	cands := s.cands[:0]
+	for si := 0; si < nsched && s.err == nil; si++ {
 		cands = cands[:0]
 		for slot := si; slot < len(s.warps); slot += nsched {
 			w := s.warps[slot]
@@ -231,10 +282,8 @@ func (s *SM) issueAll() {
 		}
 		slot := s.policy[si].Pick(cands)
 		s.issue(s.warps[slot])
-		if s.err != nil {
-			return
-		}
 	}
+	s.cands = cands[:0] // retain grown backing
 }
 
 // canIssue checks every issue hazard for the warp's next instruction.
@@ -308,23 +357,24 @@ func (s *SM) issue(w *Warp) {
 		s.st.DivergentInstrs++
 	}
 
-	res, err := s.execute(w, in, pc, active, eff)
-	if err != nil {
+	// Take the inflight record up front and let execute fill its result in
+	// place; control instructions (and errors) hand it straight back.
+	f := s.allocInflight()
+	if err := s.execute(w, in, pc, active, eff, &f.res); err != nil {
 		s.err = err
+		s.freeInflight(f)
 		return
 	}
 	if in.Op.Class() == isa.ClassCtrl {
+		s.freeInflight(f)
 		return // branches/exit/barrier/nop resolve entirely at issue
 	}
 
-	f := &inflight{
-		w:       w,
-		in:      in,
-		eff:     eff,
-		partial: res.writes && eff != w.launchMask,
-		res:     res,
-		stage:   stCollect,
-	}
+	f.w = w
+	f.in = in
+	f.eff = eff
+	f.partial = f.res.writes && eff != w.launchMask
+	f.stage = stCollect
 	// Operand collector bank reads for distinct register sources. Sources
 	// resident in the register file cache comparator skip the banks.
 	var seen uint64
@@ -342,13 +392,15 @@ func (s *SM) issue(w *Warp) {
 		}
 		id := regfile.RegID(w.slot, int(src.Reg), s.kernel.NumRegs)
 		var buf [regfile.BanksPerCluster]int
-		banks := s.rfFile.ReadBanks(id, active, buf[:0])
-		f.pendingBanks = append(f.pendingBanks, banks...)
+		for _, b := range s.rfFile.ReadBanks(id, active, buf[:0]) {
+			f.pendingBanks[f.nPending] = uint8(b)
+			f.nPending++
+		}
 		if s.rfFile.Written(id) && s.rfFile.Encoding(id).IsCompressed() {
 			f.compSrcs++
 		}
 	}
-	if res.writes {
+	if f.res.writes {
 		f.dstID = regfile.RegID(w.slot, int(in.Dst), s.kernel.NumRegs)
 		w.regBusy |= 1 << in.Dst
 		// Recompress policy: a partial write re-reads the destination's
@@ -357,7 +409,10 @@ func (s *SM) issue(w *Warp) {
 			s.rfFile.Written(f.dstID) {
 			f.mergedStore = true
 			var buf [regfile.BanksPerCluster]int
-			f.pendingBanks = append(f.pendingBanks, s.rfFile.ReadBanks(f.dstID, w.launchMask, buf[:0])...)
+			for _, b := range s.rfFile.ReadBanks(f.dstID, w.launchMask, buf[:0]) {
+				f.pendingBanks[f.nPending] = uint8(b)
+				f.nPending++
+			}
 			if s.rfFile.Encoding(f.dstID).IsCompressed() {
 				f.compSrcs++
 			}
@@ -374,17 +429,20 @@ func (s *SM) issue(w *Warp) {
 // issueDummyMov injects the decompress-in-place MOV of paper §5.2.
 func (s *SM) issueDummyMov(w *Warp, dst isa.Reg, dstID int) {
 	s.st.DummyMovs++
-	f := &inflight{
-		w:     w,
-		eff:   w.launchMask,
-		dummy: true,
-		stage: stCollect,
-		dstID: dstID,
-	}
+	f := s.allocInflight()
+	f.w = w
+	f.eff = w.launchMask
+	f.dummy = true
+	f.stage = stCollect
+	f.dstID = dstID
 	f.res.writes = true
+	f.res.unchanged = true
 	f.res.dstVals = w.regs[dst] // value is unchanged; only the encoding changes
 	var buf [regfile.BanksPerCluster]int
-	f.pendingBanks = append(f.pendingBanks, s.rfFile.ReadBanks(dstID, w.launchMask, buf[:0])...)
+	for _, b := range s.rfFile.ReadBanks(dstID, w.launchMask, buf[:0]) {
+		f.pendingBanks[f.nPending] = uint8(b)
+		f.nPending++
+	}
 	f.compSrcs = 1
 	w.regBusy |= 1 << dst
 	f.dummyDst = dst
@@ -439,16 +497,34 @@ func (s *SM) finalizeWarp(w *Warp) {
 				s.rfcWriteback(w, e.reg)
 			}
 		}
-		w.rfc = nil
+		w.rfc = w.rfc[:0]
 	}
 	s.rfFile.FreeWarp(w.slot, s.kernel.NumRegs, s.cycle)
 	s.warps[w.slot] = nil
+	s.warpPool = append(s.warpPool, w)
 	cta := s.ctas[w.ctaSlot]
 	cta.warpsLeft--
 	if cta.warpsLeft == 0 {
+		// The shared slab stays attached to the slot for the next CTA
+		// (tryLaunchCTA clears it on reuse).
 		cta.active = false
-		cta.shared = nil
 	}
+}
+
+// chooseEnc classifies a register write's compression encoding, memoized per
+// warp register: when the committed value is unchanged since the register's
+// last classification (res.unchanged — stable because the WAW scoreboard
+// admits no second writer before this commit), the cached encoding is
+// returned without rescanning the 128-byte vector. Fault corruption
+// invalidates entries (see applyFaults).
+func (s *SM) chooseEnc(w *Warp, dst isa.Reg, res *execResult, mode core.Mode) core.Encoding {
+	if res.unchanged && w.encValid&(1<<dst) != 0 {
+		return w.encCache[dst]
+	}
+	e := mode.Choose(&res.dstVals)
+	w.encCache[dst] = e
+	w.encValid |= 1 << dst
+	return e
 }
 
 // finalize closes out per-SM statistics at end of simulation.

@@ -3,6 +3,7 @@ package sim
 import (
 	"math/bits"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 )
 
@@ -49,23 +50,54 @@ type Warp struct {
 	// Scoreboard: destination registers/predicates with writes in flight.
 	regBusy  uint64
 	predBusy uint8
+
+	// Encoding memo (see SM.chooseEnc): encCache[r] holds the compression
+	// encoding classified for register r's current committed value; the
+	// encValid bit says the entry is live. A commit that changes the value
+	// refreshes the entry; fault corruption invalidates it.
+	encCache [isa.MaxRegs]core.Encoding
+	encValid uint64
 }
 
+// newWarp builds a fresh warp. The SM reuses retired warp objects through a
+// pool and re-initializes them with Warp.reset; newWarp is the cold path.
 func newWarp(slot, ctaSlot, ctaID, warpInCTA int, liveThreads int, numRegs int, age uint64) *Warp {
+	w := &Warp{}
+	w.reset(slot, ctaSlot, ctaID, warpInCTA, liveThreads, numRegs, age)
+	return w
+}
+
+// reset re-initializes a (possibly recycled) warp for a new launch slot,
+// reusing the register and SIMT stack backing arrays when they are large
+// enough. Every architectural and bookkeeping field is restored to its
+// launch state — a recycled warp is indistinguishable from a new one.
+func (w *Warp) reset(slot, ctaSlot, ctaID, warpInCTA int, liveThreads int, numRegs int, age uint64) {
 	mask := uint32(0xFFFFFFFF)
 	if liveThreads < isa.WarpSize {
 		mask = (uint32(1) << liveThreads) - 1
 	}
-	return &Warp{
-		slot:       slot,
-		ctaSlot:    ctaSlot,
-		ctaID:      ctaID,
-		warpInCTA:  warpInCTA,
-		age:        age,
-		launchMask: mask,
-		stack:      []stackEntry{{pc: 0, rpc: -1, mask: mask}},
-		regs:       make([][isa.WarpSize]uint32, numRegs),
+	w.slot = slot
+	w.ctaSlot = ctaSlot
+	w.ctaID = ctaID
+	w.warpInCTA = warpInCTA
+	w.age = age
+	w.launchMask = mask
+	w.stack = append(w.stack[:0], stackEntry{pc: 0, rpc: -1, mask: mask})
+	if cap(w.regs) >= numRegs {
+		w.regs = w.regs[:numRegs]
+		clear(w.regs)
+	} else {
+		w.regs = make([][isa.WarpSize]uint32, numRegs)
 	}
+	w.preds = [isa.MaxPreds]uint32{}
+	w.state = warpRunning
+	w.inFlight = 0
+	w.finalized = false
+	w.rfc = w.rfc[:0]
+	w.rfcStamp = 0
+	w.regBusy = 0
+	w.predBusy = 0
+	w.encValid = 0
 }
 
 // tos returns the top SIMT stack entry; nil when the warp has fully exited.

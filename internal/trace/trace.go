@@ -47,7 +47,8 @@ func BinOf(vals *core.WarpReg) stats.Bin {
 // into core.ExplorerParams of the best full-BDI parameter choice, or
 // UncompressedChoice when nothing compresses.
 func ExplorerChoice(vals *core.WarpReg) int {
-	best, ok := core.BestParams(vals.Bytes())
+	var buf [core.WarpBytes]byte
+	best, ok := core.BestParams(vals.AppendBytes(buf[:0]))
 	if !ok {
 		return UncompressedChoice
 	}

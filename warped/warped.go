@@ -74,6 +74,13 @@ type BDIParams = core.Params
 // parameters; ok is false when the data does not fit.
 func Compress(data []byte, p BDIParams) ([]byte, bool) { return core.Compress(data, p) }
 
+// CompressInto is the allocation-free form of Compress: the encoded bytes
+// are appended to dst (which may be a reused buffer, e.g. sliced to [:0])
+// and the extended slice is returned.
+func CompressInto(dst, data []byte, p BDIParams) ([]byte, bool) {
+	return core.CompressInto(dst, data, p)
+}
+
 // Decompress reverses Compress.
 func Decompress(comp []byte, p BDIParams, out []byte) error { return core.Decompress(comp, p, out) }
 
