@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-full report clean
+.PHONY: build test verify bench bench-full report serve clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ bench-full:
 
 report:
 	$(GO) run ./cmd/warpedreport -o report.md
+
+# serve runs the warpedd simulation service (README "Serving", DESIGN.md
+# §13). Override the listen address or sizing with SERVE_FLAGS, e.g.
+#   make serve SERVE_FLAGS='-addr :9000 -parallel 8 -scale medium'
+SERVE_FLAGS ?=
+serve:
+	$(GO) run ./cmd/warpedd $(SERVE_FLAGS)
 
 clean:
 	$(GO) clean ./...

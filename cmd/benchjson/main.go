@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/version"
 )
 
 // Schema identifies the JSON layout emitted by this tool.
@@ -52,7 +54,12 @@ type Document struct {
 
 func main() {
 	stamp := flag.String("stamp", "", "timestamp or label recorded in the document")
+	showVer := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("benchjson"))
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/prof"
+	"repro/internal/version"
 	"repro/warped"
 )
 
@@ -43,8 +44,13 @@ func main() {
 		verbose  = flag.Bool("v", false, "log each simulation run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("warpedbench"))
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {

@@ -1,0 +1,117 @@
+// warpedd serves the warped-compression simulator over HTTP: submit
+// simulation jobs, poll or stream their progress, and scrape Prometheus
+// metrics. It fronts the same experiments engine the CLIs use — identical
+// configs are deduplicated in flight and served from a bounded result
+// cache, keyed by the shared config signature.
+//
+// Usage:
+//
+//	warpedd                                  # listen on :8077
+//	warpedd -addr :9000 -parallel 8 -queue 256 -cache 4096
+//	warpedd -scale small -watchdog 2m -retries 1
+//
+// A quick session:
+//
+//	curl -s localhost:8077/v1/jobs -d '{"benchmark":"bfs"}'
+//	curl -s localhost:8077/v1/jobs/job-000001
+//	curl -N  localhost:8077/v1/jobs/job-000001/events   # SSE, ends when done
+//	curl -s  localhost:8077/metrics
+//
+// On SIGINT/SIGTERM the daemon drains: /readyz flips to 503, new
+// submissions are rejected with 503, and in-flight jobs get -drain-timeout
+// to finish before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/kernels"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8077", "listen address")
+		parallel = flag.Int("parallel", 0, "worker pool size and max concurrent simulations (0 = one per CPU)")
+		queue    = flag.Int("queue", 64, "admission queue depth; submissions beyond it get 429")
+		cache    = flag.Int("cache", 1024, "result cache size in entries (0 disables caching)")
+		retain   = flag.Int("retain", 1024, "finished jobs kept queryable before the oldest are forgotten")
+		scale    = flag.String("scale", "small", "workload scale served: small, medium or large")
+		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
+		backoff  = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling each retry (default 100ms)")
+		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
+		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("warpedd"))
+		return
+	}
+
+	var sc kernels.Scale
+	switch *scale {
+	case "small":
+		sc = kernels.Small
+	case "medium":
+		sc = kernels.Medium
+	case "large":
+		sc = kernels.Large
+	default:
+		log.Fatalf("warpedd: unknown -scale %q (have small, medium, large)", *scale)
+	}
+
+	mgr := jobs.NewManager(context.Background(), jobs.Config{
+		Workers:      *parallel,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		RetainJobs:   *retain,
+		Scale:        sc,
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+		Watchdog:     *watchdog,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(mgr).Handler(),
+	}
+
+	// Serve until a shutdown signal, then drain before closing the
+	// listener: load balancers see /readyz go 503 while in-flight work
+	// finishes, and only then do open connections get torn down.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("warpedd %s listening on %s (workers=%d queue=%d cache=%d scale=%s)",
+		version.Get("warpedd").Version, *addr, mgr.Stats().Workers, *queue, *cache, sc)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("warpedd: %v", err)
+	case sig := <-sigc:
+		log.Printf("warpedd: %v: draining (timeout %s)", sig, *drainFor)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		log.Printf("warpedd: %v", err)
+	}
+	mgr.Close()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("warpedd: shutdown: %v", err)
+	}
+	log.Print("warpedd: stopped")
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/version"
 	"repro/warped"
 )
 
@@ -106,8 +107,13 @@ func main() {
 		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
 		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
 		verbose  = flag.Bool("v", false, "log each simulation run")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("warpedreport"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

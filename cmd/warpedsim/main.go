@@ -21,6 +21,7 @@ import (
 	"os/signal"
 
 	"repro/internal/prof"
+	"repro/internal/version"
 	"repro/warped"
 )
 
@@ -44,8 +45,13 @@ func main() {
 		inject   = flag.String("inject", "", "inject register-file faults, e.g. seed=42,stuck=2,transient=100,redirect (stuck = stuck-at banks/SM, transient = bit flips per million writes, redirect = RRCD remapping)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("warpedsim"))
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {

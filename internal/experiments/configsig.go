@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ConfigSignatureVersion identifies the signature format ConfigSignature
+// emits. Bump it whenever the format changes — when a field is added to or
+// removed from the signature, or an existing field's rendering changes —
+// so persisted caches keyed by old signatures can never alias new ones.
+const ConfigSignatureVersion = "cfg/v1"
+
+// ConfigSignature renders a sim.Config as a stable, versioned string that
+// is equal exactly when two configurations produce identical simulations.
+// It is the shared identity used by the engine's single-flight memo cache,
+// the serving layer's result cache (internal/jobs) and every progress
+// event and job error — one implementation, so the caches can never drift.
+//
+// Every field that can change a simulation's outcome must appear here: the
+// fault-injection exhibit, for example, varies Faults and MaxCycles on top
+// of otherwise identical configs, and omitting either would silently alias
+// its cache entries with the clean runs. TestConfigSignatureCoversConfig
+// enforces coverage field by field.
+func ConfigSignature(c *sim.Config) string {
+	return ConfigSignatureVersion + ":" +
+		fmt.Sprintf("m%d g%t s%s cl%d dl%d ch%t sm%d w%d cta%d col%d c%d d%d wake%d dp%s",
+			c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
+			c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
+			c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
+		fmt.Sprintf(" sch%d alu%d sfu%d gm%d gl%d gi%d sl%d l1%d/%d/%d rfc%d drw%d mc%d flt{%s}",
+			c.SchedulersPerSM, c.ALULatency, c.SFULatency,
+			c.GlobalMemBytes, c.GlobalLatency, c.GlobalMaxInflight, c.SharedLatency,
+			c.L1SizeKB, c.L1Ways, c.L1HitLatency,
+			c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.Faults.String())
+}
+
+// sig is the engine-internal shorthand for ConfigSignature.
+func sig(c *sim.Config) string { return ConfigSignature(c) }

@@ -103,6 +103,15 @@ type engine struct {
 	backoff  time.Duration // first retry delay; doubles per attempt
 	watchdog time.Duration // progress deadline; 0 disables the watchdog
 
+	// memoize keeps completed calls in the single-flight map forever, so a
+	// key simulates at most once per engine lifetime (the Runner's mode:
+	// exhibits share configurations heavily and a suite run is bounded).
+	// When false only in-flight calls dedup; completed entries are evicted,
+	// and result retention becomes the caller's policy — the serving layer
+	// (internal/jobs) layers a bounded LRU on top instead, so a long-lived
+	// process does not grow a map per distinct configuration ever seen.
+	memoize bool
+
 	// runJob executes one attempt. It is a field (not a method call) purely
 	// as a test seam: robustness tests substitute stalling or flaky jobs
 	// without touching the benchmark registry.
@@ -125,6 +134,7 @@ func newEngine(ctx context.Context, parallelism int, scale kernels.Scale, progre
 		parallelism: parallelism,
 		slots:       make(chan struct{}, parallelism),
 		backoff:     100 * time.Millisecond,
+		memoize:     true,
 		calls:       make(map[string]*call),
 		progress:    progress,
 	}
@@ -168,6 +178,14 @@ func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	e.mu.Unlock()
 
 	cl.res, cl.err = e.simulate(b, c, cfgSig)
+	if !e.memoize {
+		// Evict before closing done: once waiters are released the key is
+		// already gone, so a late requester starts a fresh simulation
+		// instead of joining a finished call.
+		e.mu.Lock()
+		delete(e.calls, key)
+		e.mu.Unlock()
+	}
 	close(cl.done)
 	return cl.res, cl.err
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// EngineConfig configures a standalone Engine built with NewEngine. The
+// zero value is usable: GOMAXPROCS workers, Small scale, no retries, no
+// watchdog, no memoization.
+type EngineConfig struct {
+	// Parallelism bounds concurrent simulations; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Scale is the workload size benchmarks are built at.
+	Scale kernels.Scale
+	// Retries grants every job this many extra attempts after a transient
+	// failure (TransientError or a watchdog stall).
+	Retries int
+	// RetryBackoff is the delay before the first retry (default 100ms);
+	// each subsequent retry doubles it.
+	RetryBackoff time.Duration
+	// Watchdog cancels a simulation that issues no new instructions for a
+	// full window; <= 0 disables.
+	Watchdog time.Duration
+	// Progress receives the structured event stream (calls serialized).
+	Progress ProgressFunc
+	// Memoize keeps every completed result in the engine forever, so each
+	// key simulates at most once per Engine lifetime. Leave it false for
+	// long-lived processes: in-flight calls still coalesce (single-flight),
+	// but completed results are dropped and retention becomes the caller's
+	// policy (internal/jobs layers a bounded LRU on top).
+	Memoize bool
+}
+
+// Engine is the exported simulation execution core the experiment Runner
+// runs on, for callers that schedule their own jobs — the serving layer's
+// worker pool (internal/jobs) above all. It provides exactly the Runner's
+// job semantics: a bounded worker pool, single-flight dedup on the
+// (benchmark, ConfigSignature) key, per-job panic isolation, bounded
+// retries with exponential backoff for transient failures, and the
+// instruction-heartbeat stall watchdog. Runner and Engine share one
+// implementation, so CLI experiment runs and served jobs can never drift.
+type Engine struct {
+	eng *engine
+}
+
+// NewEngine builds an Engine. ctx governs every simulation it schedules:
+// cancel it and in-flight and future runs abort promptly with an error
+// wrapping ctx.Err().
+func NewEngine(ctx context.Context, cfg EngineConfig) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eng := newEngine(ctx, cfg.Parallelism, cfg.Scale, cfg.Progress)
+	if cfg.Retries > 0 {
+		eng.retries = cfg.Retries
+	}
+	if cfg.RetryBackoff > 0 {
+		eng.backoff = cfg.RetryBackoff
+	}
+	if cfg.Watchdog > 0 {
+		eng.watchdog = cfg.Watchdog
+	}
+	eng.memoize = cfg.Memoize
+	return &Engine{eng: eng}
+}
+
+// Run simulates benchmark b under configuration c inside a worker slot,
+// blocking until the result is available. Concurrent calls with the same
+// (b.Name, ConfigSignature(&c)) key join the in-flight simulation instead
+// of running it twice; the joiners observe an EventCacheHit. Failures are
+// wrapped in *JobError; on ErrOutputMismatch the result is returned
+// alongside the error (fault campaigns need the counters of wrong runs).
+func (e *Engine) Run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+	return e.eng.run(b, c)
+}
+
+// Parallelism reports the engine's worker-slot count.
+func (e *Engine) Parallelism() int { return e.eng.parallelism }
+
+// Scale reports the workload size the engine builds benchmarks at.
+func (e *Engine) Scale() kernels.Scale { return e.eng.scale }

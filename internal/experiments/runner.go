@@ -109,19 +109,6 @@ func (r *Runner) cfgDecompLatency(lat int) sim.Config {
 	return c
 }
 
-// sig produces the memoization key of a configuration. Every field that can
-// change a simulation's outcome must appear here: the fault-injection
-// exhibit, for example, varies Faults and MaxCycles on top of otherwise
-// identical configs, and omitting either would silently alias its cache
-// entries with the clean runs.
-func sig(c *sim.Config) string {
-	return fmt.Sprintf("m%d g%t s%s cl%d dl%d ch%t sm%d w%d cta%d col%d c%d d%d wake%d dp%s",
-		c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
-		c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
-		c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
-		fmt.Sprintf(" rfc%d drw%d mc%d flt{%s}", c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.Faults.String())
-}
-
 // run simulates one benchmark under one configuration through the engine's
 // single-flight memo cache.
 func (r *Runner) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {

@@ -1,0 +1,602 @@
+// Package jobs is the serving layer's execution subsystem: a bounded FIFO
+// job queue with admission control, a worker pool that runs simulations on
+// the exported experiments engine (single-flight dedup, retries, panic
+// isolation, stall watchdog), and a bounded LRU result cache keyed by the
+// same config signature as the engine — one identity, so the two caches
+// can never drift. internal/server exposes it over HTTP; see DESIGN.md §13
+// for the backpressure policy.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// Admission errors. The server maps them to HTTP statuses: ErrQueueFull →
+// 429 (back off and retry), ErrDraining → 503 (the process is going away).
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: draining, not accepting new jobs")
+)
+
+// UnknownBenchmarkError rejects a submission naming no registered workload.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return fmt.Sprintf("jobs: unknown benchmark %q", e.Name)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Event is one entry of a job's progress stream, served over SSE by the
+// server. Lifecycle events (queued, running, done, failed, cache-hit) come
+// from the Manager; sim-* and coalesced events are the engine's progress
+// stream scoped to this job's (benchmark, signature) key.
+type Event struct {
+	Kind      string `json:"kind"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Cycles    uint64 `json:"cycles,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Job is one submitted simulation. All mutable state is behind mu; the
+// identity fields are immutable after creation.
+type Job struct {
+	ID        string
+	Benchmark string
+	Signature string // experiments.ConfigSignature of the submitted config
+	Config    sim.Config
+
+	mu       sync.Mutex
+	state    State
+	cached   bool
+	result   *sim.Result
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	events   []Event
+	subs     map[chan Event]struct{}
+}
+
+// JobView is the JSON representation of a job's current state.
+type JobView struct {
+	ID        string      `json:"id"`
+	Benchmark string      `json:"benchmark"`
+	Signature string      `json:"signature"`
+	State     State       `json:"state"`
+	Cached    bool        `json:"cached,omitempty"`
+	Created   time.Time   `json:"created"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Result    *sim.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		Benchmark: j.Benchmark,
+		Signature: j.Signature,
+		State:     j.state,
+		Cached:    j.cached,
+		Created:   j.created,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result and error once finished (nil, nil while
+// the job is still queued or running). On an output-mismatch failure both
+// are non-nil: fault campaigns need the counters of wrong runs.
+func (j *Job) Result() (*sim.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Subscribe returns the job's event history so far and, when the job is
+// still live, a channel delivering subsequent events (closed when the job
+// finishes). A finished job returns a nil channel. cancel releases the
+// subscription; it is safe to call multiple times and after the close.
+// Slow subscribers do not block the engine: each channel is buffered and
+// events beyond the buffer are dropped for that subscriber (the full
+// history remains available via a fresh Subscribe or the job view).
+func (j *Job) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	if j.state == StateDone || j.state == StateFailed {
+		return replay, nil, func() {}
+	}
+	c := make(chan Event, 64)
+	j.subs[c] = struct{}{}
+	return replay, c, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[c]; ok {
+			delete(j.subs, c)
+			close(c)
+		}
+	}
+}
+
+// append records an event and fans it out to live subscribers.
+func (j *Job) append(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(ev)
+}
+
+func (j *Job) appendLocked(ev Event) {
+	j.events = append(j.events, ev)
+	for c := range j.subs {
+		select {
+		case c <- ev:
+		default: // slow subscriber: drop rather than stall the pipeline
+		}
+	}
+}
+
+// setRunning transitions queued → running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.appendLocked(Event{Kind: "running"})
+}
+
+// finish completes the job, emits the terminal event and closes every
+// subscriber channel.
+func (j *Job) finish(res *sim.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result, j.err = res, err
+	j.finished = time.Now()
+	ev := Event{Kind: "done"}
+	if err != nil {
+		j.state = StateFailed
+		ev = Event{Kind: "failed", Error: err.Error()}
+	} else {
+		j.state = StateDone
+	}
+	if res != nil {
+		ev.Cycles = res.Cycles
+	}
+	j.appendLocked(ev)
+	for c := range j.subs {
+		delete(j.subs, c)
+		close(c)
+	}
+}
+
+// Config sizes the Manager. Zero values get sensible defaults (see
+// NewManager).
+type Config struct {
+	// Workers is the worker-pool width and the engine's parallelism;
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; submissions beyond it
+	// are rejected with ErrQueueFull. <= 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache in entries; 0 disables
+	// caching, < 0 means the 1024-entry default.
+	CacheSize int
+	// RetainJobs bounds how many finished jobs stay queryable; the oldest
+	// finished jobs are forgotten beyond it. <= 0 means 1024.
+	RetainJobs int
+	// Scale is the workload size benchmarks are built at (default Small).
+	Scale kernels.Scale
+	// Retries, RetryBackoff and Watchdog configure the engine's
+	// per-job robustness exactly as in the experiment runner.
+	Retries      int
+	RetryBackoff time.Duration
+	Watchdog     time.Duration
+}
+
+// Stats is a point-in-time snapshot of the Manager's counters, rendered by
+// the server's /metrics endpoint.
+type Stats struct {
+	Submitted uint64 // admitted jobs (queued at least once)
+	Rejected  uint64 // refused: queue full or draining
+	Completed uint64 // finished successfully
+	Failed    uint64 // finished with an error
+	Coalesced uint64 // joined an in-flight identical simulation
+
+	CacheHits    uint64 // served entirely from the LRU result cache
+	CacheMisses  uint64
+	CacheEntries int
+
+	SimCycles uint64 // total simulated cycles across completed runs
+
+	Queued        int // jobs waiting in the FIFO
+	Running       int // jobs occupying a worker
+	QueueCapacity int
+	Workers       int
+	Draining      bool
+}
+
+// task is one queue entry: the job plus everything a worker needs to run it.
+type task struct {
+	job   *Job
+	bench *kernels.Benchmark
+	cfg   sim.Config
+}
+
+// Manager owns the queue, the worker pool, the engine and the result
+// cache. Build one with NewManager; shut it down with Drain (graceful)
+// and/or Close.
+type Manager struct {
+	cfg    Config
+	eng    *experiments.Engine
+	cancel context.CancelFunc
+
+	queue chan task
+	wg    sync.WaitGroup // workers
+
+	// pending counts admitted-but-unfinished tasks; Drain waits on it.
+	pending sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	jobs     map[string]*Job
+	finished []string          // finished job IDs, oldest first (retention ring)
+	byKey    map[string][]*Job // running jobs by sim key, for event fanout
+	cache    *lru
+	nextID   uint64
+
+	submitted, rejected, completed, failed uint64
+	coalesced, cacheHits, cacheMisses      uint64
+	simCycles                              uint64
+	queued, running                        int
+}
+
+// NewManager builds and starts a Manager. ctx bounds every simulation it
+// will ever run; canceling it aborts in-flight work (Close does this too).
+func NewManager(ctx context.Context, cfg Config) *Manager {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize < 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	m := &Manager{
+		cfg:    cfg,
+		cancel: cancel,
+		queue:  make(chan task, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+		byKey:  make(map[string][]*Job),
+		cache:  newLRU(cfg.CacheSize),
+	}
+	m.eng = experiments.NewEngine(ctx, experiments.EngineConfig{
+		Parallelism:  cfg.Workers,
+		Scale:        cfg.Scale,
+		Retries:      cfg.Retries,
+		RetryBackoff: cfg.RetryBackoff,
+		Watchdog:     cfg.Watchdog,
+		Progress:     m.onEngineEvent,
+		// No engine memoization: the bounded LRU above is the retention
+		// policy; the engine contributes single-flight dedup only.
+		Memoize: false,
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// key is the shared cache/single-flight identity of a submission.
+func key(benchmark, signature string) string { return benchmark + "|" + signature }
+
+// Submit validates and admits one simulation job. It returns the job
+// immediately: completed (cache hit), or queued for the worker pool.
+// Admission failures: ErrDraining once a drain has begun, ErrQueueFull
+// when the FIFO is at capacity, *UnknownBenchmarkError / config validation
+// errors for bad requests.
+func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
+	b, ok := kernels.ByName(benchmark)
+	if !ok {
+		return nil, &UnknownBenchmarkError{Name: benchmark}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	signature := experiments.ConfigSignature(&cfg)
+	k := key(benchmark, signature)
+
+	m.mu.Lock()
+	if m.draining {
+		m.rejected++
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if res, hit := m.cache.get(k); hit {
+		m.cacheHits++
+		job := m.newJobLocked(benchmark, signature, cfg)
+		job.state = StateDone
+		job.cached = true
+		job.result = res
+		job.finished = job.created
+		job.events = []Event{{Kind: "cache-hit", Cycles: res.Cycles}}
+		m.jobs[job.ID] = job
+		m.retainLocked(job)
+		m.mu.Unlock()
+		return job, nil
+	}
+	m.cacheMisses++
+	job := m.newJobLocked(benchmark, signature, cfg)
+	job.state = StateQueued
+	job.events = []Event{{Kind: "queued"}}
+	m.pending.Add(1)
+	select {
+	case m.queue <- task{job: job, bench: b, cfg: cfg}:
+		m.submitted++
+		m.queued++
+		m.jobs[job.ID] = job
+		m.mu.Unlock()
+		return job, nil
+	default:
+		m.pending.Done()
+		m.rejected++
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// newJobLocked allocates a job (caller holds m.mu for the ID counter).
+// The caller finishes initializing it and registers it in m.jobs — in that
+// order, so a concurrently held m.mu snapshot never sees a half-built job.
+func (m *Manager) newJobLocked(benchmark, signature string, cfg sim.Config) *Job {
+	m.nextID++
+	return &Job{
+		ID:        fmt.Sprintf("job-%06d", m.nextID),
+		Benchmark: benchmark,
+		Signature: signature,
+		Config:    cfg,
+		created:   time.Now(),
+		subs:      make(map[chan Event]struct{}),
+	}
+}
+
+// retainLocked records a finished job in the retention ring, forgetting
+// the oldest finished job beyond the cap. Caller holds m.mu.
+func (m *Manager) retainLocked(j *Job) {
+	m.finished = append(m.finished, j.ID)
+	for len(m.finished) > m.cfg.RetainJobs {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every retained job, oldest submission first.
+func (m *Manager) Jobs() []JobView {
+	m.mu.Lock()
+	all := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	views := make([]JobView, len(all))
+	for i, j := range all {
+		views[i] = j.View()
+	}
+	// IDs are zero-padded monotonic counters, so a lexical sort is
+	// submission order.
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && views[k-1].ID > views[k].ID; k-- {
+			views[k-1], views[k] = views[k], views[k-1]
+		}
+	}
+	return views
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for t := range m.queue {
+		m.runJob(t)
+		m.pending.Done()
+	}
+}
+
+// runJob executes one admitted task on the engine and completes its job.
+func (m *Manager) runJob(t task) {
+	k := key(t.job.Benchmark, t.job.Signature)
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.byKey[k] = append(m.byKey[k], t.job)
+	m.mu.Unlock()
+	t.job.setRunning()
+
+	res, err := m.eng.Run(t.bench, t.cfg)
+
+	m.mu.Lock()
+	m.running--
+	peers := m.byKey[k]
+	for i, j := range peers {
+		if j == t.job {
+			m.byKey[k] = append(peers[:i], peers[i+1:]...)
+			break
+		}
+	}
+	if len(m.byKey[k]) == 0 {
+		delete(m.byKey, k)
+	}
+	if err == nil && res != nil {
+		m.cache.add(k, res)
+	}
+	if res != nil {
+		m.simCycles += res.Cycles
+	}
+	if err != nil {
+		m.failed++
+	} else {
+		m.completed++
+	}
+	m.retainLocked(t.job)
+	m.mu.Unlock()
+	t.job.finish(res, err)
+}
+
+// onEngineEvent scopes the engine's progress stream to the jobs currently
+// running under the event's (benchmark, signature) key.
+func (m *Manager) onEngineEvent(ev experiments.Event) {
+	k := key(ev.Benchmark, ev.Config)
+	m.mu.Lock()
+	if ev.Kind == experiments.EventCacheHit {
+		m.coalesced++
+	}
+	targets := append([]*Job(nil), m.byKey[k]...)
+	m.mu.Unlock()
+	je := Event{Attempt: ev.Attempt, Cycles: ev.Cycles}
+	switch ev.Kind {
+	case experiments.EventJobStart:
+		je.Kind = "sim-start"
+	case experiments.EventJobDone:
+		je.Kind = "sim-done"
+		je.ElapsedMS = ev.Elapsed.Milliseconds()
+		if ev.Err != nil {
+			je.Error = ev.Err.Error()
+		}
+	case experiments.EventJobRetry:
+		je.Kind = "sim-retry"
+		if ev.Err != nil {
+			je.Error = ev.Err.Error()
+		}
+	case experiments.EventCacheHit:
+		je.Kind = "coalesced"
+	default:
+		je.Kind = ev.Kind.String()
+	}
+	for _, j := range targets {
+		j.append(je)
+	}
+}
+
+// Draining reports whether a drain has begun (readiness probes key off it).
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain stops admission (subsequent Submits fail with ErrDraining) and
+// waits for every admitted job — queued and running — to finish, or for
+// ctx to expire, whichever comes first. It does not stop the workers; call
+// Close afterwards. Drain is idempotent.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain aborted with work in flight: %w", ctx.Err())
+	}
+}
+
+// Close shuts the Manager down: admission stops, the engine's context is
+// canceled (aborting any in-flight simulations — Drain first for a
+// graceful exit), and the workers are joined.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Submitted:     m.submitted,
+		Rejected:      m.rejected,
+		Completed:     m.completed,
+		Failed:        m.failed,
+		Coalesced:     m.coalesced,
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+		CacheEntries:  m.cache.len(),
+		SimCycles:     m.simCycles,
+		Queued:        m.queued,
+		Running:       m.running,
+		QueueCapacity: m.cfg.QueueDepth,
+		Workers:       m.cfg.Workers,
+		Draining:      m.draining,
+	}
+}
+
+// Scale reports the workload size served jobs are built at.
+func (m *Manager) Scale() kernels.Scale { return m.cfg.Scale }

@@ -1,0 +1,66 @@
+package jobs
+
+import (
+	"container/list"
+
+	"repro/internal/sim"
+)
+
+// lru is a bounded least-recently-used result cache keyed by the job key
+// (benchmark name + experiments.ConfigSignature). It is not safe for
+// concurrent use; the Manager serializes access under its mutex.
+//
+// Entries hold *sim.Result pointers shared with completed jobs; results
+// are treated as immutable once a simulation finishes, so sharing is safe.
+type lru struct {
+	max   int // <= 0 disables caching entirely
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type lruEntry struct {
+	key string
+	res *sim.Result
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *lru) get(key string) (*sim.Result, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is over capacity.
+func (c *lru) add(key string, res *sim.Result) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.ll.Len() }

@@ -1,0 +1,62 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func res(cycles uint64) *sim.Result { return &sim.Result{Cycles: cycles} }
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", res(1))
+	c.add("b", res(2))
+	c.add("c", res(3)) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived past capacity")
+	}
+	if r, ok := c.get("b"); !ok || r.Cycles != 2 {
+		t.Fatalf("b lost: %v %v", r, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", res(1))
+	c.add("b", res(2))
+	c.get("a")         // a is now most recent
+	c.add("c", res(3)) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestLRUAddRefreshesExisting(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", res(1))
+	c.add("a", res(9))
+	if r, _ := c.get("a"); r.Cycles != 9 {
+		t.Fatalf("refresh lost: %d", r.Cycles)
+	}
+	if c.len() != 1 {
+		t.Fatalf("duplicate entry: len = %d", c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0)
+	c.add("a", res(1))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/jobs"
+	"repro/internal/version"
+)
+
+// The dependency rule forbids third-party modules, so /metrics is rendered
+// by hand in the Prometheus text exposition format (version 0.0.4). The
+// format is small and stable: `# HELP`/`# TYPE` headers, then
+// `name{label="v"} value` samples; histograms are cumulative `_bucket`
+// series plus `_sum` and `_count`.
+
+// latencyBuckets are the cumulative upper bounds (seconds) of the HTTP
+// request-duration histogram. Sub-millisecond buckets catch the cheap
+// probe/metadata routes; the tail covers multi-second simulations observed
+// through long polls.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
+// histogram is a fixed-bucket latency histogram. Not safe for concurrent
+// use; httpStats serializes access under its mutex.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; the last slot is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// reqKey labels one warpedd_http_requests_total series.
+type reqKey struct {
+	route string // the mux pattern, e.g. "POST /v1/jobs"
+	code  int
+}
+
+// httpStats aggregates per-route request counters and latency histograms.
+// Routes are the registered mux patterns, not raw URLs, so cardinality is
+// bounded by the route table.
+type httpStats struct {
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	latency  map[string]*histogram
+}
+
+func newHTTPStats() *httpStats {
+	return &httpStats{
+		requests: make(map[reqKey]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (s *httpStats) observe(route string, code int, seconds float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests[reqKey{route, code}]++
+	h := s.latency[route]
+	if h == nil {
+		h = newHistogram()
+		s.latency[route] = h
+	}
+	h.observe(seconds)
+}
+
+// writeMetrics renders the full exposition: manager counters, HTTP stats
+// and build info. Series within a family are emitted in sorted label order
+// so the output is deterministic and easy to diff.
+func writeMetrics(w io.Writer, st jobs.Stats, hs *httpStats, ready bool, info version.Info) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	counter("warpedd_jobs_submitted_total", "Jobs admitted to the queue.", st.Submitted)
+	counter("warpedd_jobs_rejected_total", "Submissions refused (queue full or draining).", st.Rejected)
+	counter("warpedd_jobs_completed_total", "Jobs finished successfully.", st.Completed)
+	counter("warpedd_jobs_failed_total", "Jobs finished with an error.", st.Failed)
+	counter("warpedd_jobs_coalesced_total", "Jobs that joined an in-flight identical simulation.", st.Coalesced)
+	counter("warpedd_cache_hits_total", "Submissions served from the result cache.", st.CacheHits)
+	counter("warpedd_cache_misses_total", "Submissions that missed the result cache.", st.CacheMisses)
+	counter("warpedd_sim_cycles_total", "Simulated GPU cycles across completed runs (rate() gives sim-cycles/s).", st.SimCycles)
+
+	gauge("warpedd_cache_entries", "Results currently held in the LRU cache.", float64(st.CacheEntries))
+	gauge("warpedd_queue_depth", "Jobs waiting in the admission queue.", float64(st.Queued))
+	gauge("warpedd_queue_capacity", "Admission queue capacity.", float64(st.QueueCapacity))
+	gauge("warpedd_jobs_running", "Jobs currently occupying a worker.", float64(st.Running))
+	gauge("warpedd_workers", "Worker pool size.", float64(st.Workers))
+	readiness := 0.0
+	if ready {
+		readiness = 1
+	}
+	gauge("warpedd_ready", "1 while accepting jobs, 0 once draining.", readiness)
+
+	fmt.Fprintf(w, "# HELP warpedd_build_info Build identity; value is always 1.\n# TYPE warpedd_build_info gauge\n")
+	fmt.Fprintf(w, "warpedd_build_info{version=%q,go=%q} 1\n", info.Version, info.Go)
+
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP warpedd_http_requests_total HTTP requests by route and status code.\n# TYPE warpedd_http_requests_total counter\n")
+	reqKeys := make([]reqKey, 0, len(hs.requests))
+	for k := range hs.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "warpedd_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, hs.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP warpedd_http_request_seconds HTTP request latency by route.\n# TYPE warpedd_http_request_seconds histogram\n")
+	routes := make([]string, 0, len(hs.latency))
+	for r := range hs.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := hs.latency[r]
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "warpedd_http_request_seconds_bucket{route=%q,le=%q} %d\n",
+				r, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "warpedd_http_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(w, "warpedd_http_request_seconds_sum{route=%q} %s\n", r, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(w, "warpedd_http_request_seconds_count{route=%q} %d\n", r, h.total)
+	}
+}

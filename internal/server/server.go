@@ -1,0 +1,238 @@
+// Package server exposes the jobs subsystem over HTTP: a small JSON API for
+// submitting simulations and polling results, Server-Sent Events for live
+// progress, and operational endpoints (Prometheus /metrics, /healthz,
+// /readyz). It holds no execution state of its own — every decision about
+// admission, dedup and caching lives in internal/jobs, so the HTTP layer
+// stays a thin, testable translation:
+//
+//	POST /v1/jobs            submit   → 202 queued | 200 cache hit
+//	GET  /v1/jobs            list retained jobs
+//	GET  /v1/jobs/{id}       job status and result
+//	GET  /v1/jobs/{id}/events  progress stream (SSE)
+//	GET  /v1/benchmarks      registered workloads
+//	GET  /v1/version         build identity
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            liveness    GET /readyz  readiness (503 while draining)
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/version"
+)
+
+// Server translates HTTP to jobs.Manager calls. Build one with New; it is
+// safe for concurrent use by any number of clients.
+type Server struct {
+	mgr  *jobs.Manager
+	mux  *http.ServeMux
+	http *httpStats
+	info version.Info
+}
+
+// New wires the route table onto mgr. The caller keeps ownership of the
+// Manager: shutting down is mgr.Drain + mgr.Close, not a server call, so
+// the same drain path serves signal handlers and tests alike.
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{
+		mgr:  mgr,
+		mux:  http.NewServeMux(),
+		http: newHTTPStats(),
+		info: version.Get("warpedd"),
+	}
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleList)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.handle("GET /v1/benchmarks", s.handleBenchmarks)
+	s.handle("GET /v1/version", s.handleVersion)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the root handler for an http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle registers a route and wraps it with request accounting. The mux
+// pattern doubles as the metrics route label — http.Request.Pattern would
+// give us this for free but needs Go 1.23, and the repo pins 1.22.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.http.observe(pattern, rec.code, time.Since(start).Seconds())
+	})
+}
+
+// statusRecorder captures the response code for metrics. It forwards
+// Flush so SSE streaming works through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// apiError is the JSON error envelope every non-2xx response uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitRequest is the POST /v1/jobs body. Config starts from the named
+// preset ("warped", the paper configuration, unless "baseline" is asked
+// for) and the optional config object overrides individual sim.Config
+// fields by their Go names, e.g. {"CompressLatency": 4}.
+type submitRequest struct {
+	Benchmark string          `json:"benchmark"`
+	Preset    string          `json:"preset"`
+	Config    json.RawMessage `json:"config"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Benchmark == "" {
+		writeError(w, http.StatusBadRequest, "missing benchmark (see GET /v1/benchmarks)")
+		return
+	}
+	var cfg sim.Config
+	switch req.Preset {
+	case "", "warped":
+		cfg = sim.DefaultConfig()
+	case "baseline":
+		cfg = sim.BaselineConfig()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown preset %q (have warped, baseline)", req.Preset)
+		return
+	}
+	if len(req.Config) > 0 {
+		over := json.NewDecoder(bytes.NewReader(req.Config))
+		over.DisallowUnknownFields()
+		if err := over.Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad config overrides: %v", err)
+			return
+		}
+	}
+
+	job, err := s.mgr.Submit(req.Benchmark, cfg)
+	if err != nil {
+		var unknown *jobs.UnknownBenchmarkError
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, jobs.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.As(err, &unknown):
+			writeError(w, http.StatusBadRequest, "%v (see GET /v1/benchmarks)", err)
+		default: // config validation
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	code := http.StatusAccepted
+	if job.State() == jobs.StateDone { // served from the result cache
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.View())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobs.JobView `json:"jobs"`
+	}{Jobs: s.mgr.Jobs()})
+}
+
+// benchmarkInfo is one entry of GET /v1/benchmarks.
+type benchmarkInfo struct {
+	Name        string `json:"name"`
+	Suite       string `json:"suite"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	all := kernels.All()
+	infos := make([]benchmarkInfo, len(all))
+	for i, b := range all {
+		infos[i] = benchmarkInfo{Name: b.Name, Suite: b.Suite, Description: b.Description}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Benchmarks []benchmarkInfo `json:"benchmarks"`
+		Scale      string          `json:"scale"`
+	}{Benchmarks: infos, Scale: s.mgr.Scale().String()})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, st, s.http, !st.Draining, s.info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports admission readiness: 200 while Submit would be
+// accepted, 503 once a drain has begun so load balancers stop routing here
+// before the listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.mgr.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

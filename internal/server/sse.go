@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/jobs"
+)
+
+// handleEvents streams a job's progress as Server-Sent Events. The full
+// event history is replayed first (so late subscribers see the whole
+// story), then live events follow until the job finishes or the client
+// disconnects. Event names are the jobs.Event kinds: queued, running,
+// sim-start, sim-retry, sim-done, coalesced, cache-hit, done, failed.
+// A finished job's stream replays and ends immediately, which makes
+//
+//	curl -N .../v1/jobs/job-000001/events
+//
+// a blocking "wait for this job" primitive.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	replay, ch, cancel := job.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	if ch == nil { // job already finished: replay was the whole stream
+		return
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open { // closed after the terminal event: stream complete
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in text/event-stream framing. The JSON body
+// never contains newlines (it is a compact single-object marshal), so one
+// data: line suffices.
+func writeSSE(w io.Writer, ev jobs.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil { // unreachable: Event is plain data
+		data = []byte(`{}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestResultJSONGolden pins the exact bytes of a warped.sim.result/v1
+// document. The fixture simulation is deterministic, so any diff against
+// the checked-in golden file is a real wire-format change: either a bug or
+// a deliberate schema evolution, which requires a version bump and
+// `go test ./internal/sim -run Golden -update`.
+func TestResultJSONGolden(t *testing.T) {
+	res := resultFixture(t)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "result_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("result JSON drifted from %s (run with -update if intended)\n got: %s\nwant: %s",
+			golden, data, want)
+	}
+
+	// The golden document must also survive a full unmarshal → marshal
+	// round trip byte-identically: no field may be dropped or reordered by
+	// a decode/encode cycle.
+	var back Result
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again = append(again, '\n')
+	if !bytes.Equal(again, want) {
+		t.Fatalf("golden document is not round-trip stable:\n got: %s\nwant: %s", again, want)
+	}
+}

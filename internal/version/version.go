@@ -1,0 +1,73 @@
+// Package version derives a build identity from the Go build info embedded
+// in every binary (debug.ReadBuildInfo): module version, VCS revision and
+// toolchain. All of the repo's binaries share it — the -version flag on the
+// CLIs and warpedd's /v1/version endpoint render the same Info, so there is
+// exactly one notion of "which build is this".
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the structured build identity.
+type Info struct {
+	// Binary is the command name the caller reports as (warpedsim,
+	// warpedd, ...).
+	Binary string `json:"binary"`
+	// Version is the main module's version: a tag for released builds,
+	// "(devel)" for source builds.
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Get reads the build identity for the named binary. It degrades
+// gracefully: binaries built without build info (e.g. some test harnesses)
+// still get the binary name back.
+func Get(binary string) Info {
+	info := Info{Binary: binary, Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Go = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the one-line -version output.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Binary, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Modified {
+			rev += "+dirty"
+		}
+		s += " (" + rev + ")"
+	}
+	if i.Go != "" {
+		s += " " + i.Go
+	}
+	return s
+}
+
+// String is the convenience used by every main: version.String("warpedsim").
+func String(binary string) string { return Get(binary).String() }

@@ -316,6 +316,12 @@ func WithRetryBackoff(d time.Duration) ExperimentOption { return experiments.Wit
 // full window d, failing it with a *StallError. d <= 0 disables (default).
 func WithWatchdog(d time.Duration) ExperimentOption { return experiments.WithWatchdog(d) }
 
+// ConfigSignature renders a Config as a stable, versioned string that is
+// equal exactly when two configurations produce identical simulations —
+// the identity the experiment engine's memo cache and the warpedd result
+// cache both key on (see experiments.ConfigSignatureVersion).
+func ConfigSignature(c *Config) string { return experiments.ConfigSignature(c) }
+
 // ExperimentIDs lists every regenerable exhibit (table1..3, fig2..fig21).
 func ExperimentIDs() []string { return experiments.IDs() }
 
