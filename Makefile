@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-full report serve clean
+.PHONY: build test verify bench bench-full report serve cluster-smoke clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ report:
 SERVE_FLAGS ?=
 serve:
 	$(GO) run ./cmd/warpedd $(SERVE_FLAGS)
+
+# cluster-smoke boots two warpedd workers, shards the smoke campaign
+# across them with warpedctl, and asserts the merged report is
+# byte-identical to a single-node run (README "Cluster", DESIGN.md §14).
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

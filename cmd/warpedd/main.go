@@ -52,6 +52,7 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling each retry (default 100ms)")
 		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs")
+		sseKA    = flag.Duration("sse-keepalive", 15*time.Second, "interval between keep-alive comments on idle event streams")
 		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -82,9 +83,11 @@ func main() {
 		RetryBackoff: *backoff,
 		Watchdog:     *watchdog,
 	})
+	api := server.New(mgr)
+	api.SetSSEKeepAlive(*sseKA)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(mgr).Handler(),
+		Handler: api.Handler(),
 	}
 
 	// Serve until a shutdown signal, then drain before closing the

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// The coordinator distinguishes three failure classes when talking to a
+// worker, because each demands a different reaction:
+//
+//   - errBusy: the worker is up but its admission queue is full (429).
+//     Back off and retry the same worker — moving elsewhere would defeat
+//     cache-affinity placement for a transient condition.
+//   - errWorkerDown: the worker is unreachable, erroring at the transport
+//     level, answering 5xx, or draining. Quarantine it and fail the job
+//     over to the next rendezvous candidate.
+//   - anything else: the job itself is bad (unknown benchmark, invalid
+//     config, simulation failure). Failover would just fail again
+//     elsewhere; record the error in the report.
+var (
+	errBusy       = errors.New("cluster: worker queue full")
+	errWorkerDown = errors.New("cluster: worker down")
+)
+
+// workerDown wraps err so it matches errWorkerDown via errors.Is.
+func workerDown(err error) error {
+	return fmt.Errorf("%w: %w", errWorkerDown, err)
+}
+
+// apiClient speaks the warpedd HTTP API (internal/server) to one or more
+// workers. It holds no per-worker state; the registry does.
+type apiClient struct {
+	http *http.Client
+}
+
+// submitRequest mirrors the server's POST /v1/jobs body.
+type submitRequest struct {
+	Benchmark string          `json:"benchmark"`
+	Preset    string          `json:"preset"`
+	Config    json.RawMessage `json:"config"`
+}
+
+// submit posts one job. The full sim.Config is serialized as overrides, so
+// the worker reconstructs the coordinator's configuration exactly — and
+// therefore computes the identical ConfigSignature, which is what keeps
+// coordinator-side placement and worker-side caching keyed to one
+// identity.
+func (c *apiClient) submit(ctx context.Context, worker, benchmark string, cfg sim.Config) (jobs.JobView, error) {
+	var view jobs.JobView
+	full, err := json.Marshal(cfg)
+	if err != nil {
+		return view, fmt.Errorf("cluster: marshal config: %w", err)
+	}
+	body, err := json.Marshal(submitRequest{Benchmark: benchmark, Preset: "warped", Config: full})
+	if err != nil {
+		return view, fmt.Errorf("cluster: marshal submit: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return view, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return view, workerDown(err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return view, workerDown(fmt.Errorf("bad submit response: %w", err))
+		}
+		return view, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return view, errBusy
+	case resp.StatusCode >= 500:
+		return view, workerDown(fmt.Errorf("submit: %s: %s", resp.Status, apiErrorBody(resp.Body)))
+	default:
+		return view, fmt.Errorf("cluster: %s rejected job: %s: %s", worker, resp.Status, apiErrorBody(resp.Body))
+	}
+}
+
+// fetchJob reads a job's current view.
+func (c *apiClient) fetchJob(ctx context.Context, worker, id string) (jobs.JobView, error) {
+	var view jobs.JobView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return view, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return view, workerDown(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return view, workerDown(fmt.Errorf("job %s: %s: %s", id, resp.Status, apiErrorBody(resp.Body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, workerDown(fmt.Errorf("job %s: bad body: %w", id, err))
+	}
+	return view, nil
+}
+
+// fetchInfo reads a worker's cluster identity.
+func fetchInfo(ctx context.Context, client *http.Client, worker string) (server.ClusterInfo, error) {
+	var info server.ClusterInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/cluster/info", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("cluster info: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	seq int // SSE id, -1 when the event carried none
+	ev  jobs.Event
+}
+
+// stream follows a job's SSE feed from the event after lastSeq (-1 for
+// the beginning), invoking onEvent for every recorded event, until a
+// terminal event ("done"/"failed") arrives — returned with a nil error —
+// or the connection breaks, in which case the caller can resume by
+// calling stream again with the updated lastSeq it got back.
+func (c *apiClient) stream(ctx context.Context, worker, id string, lastSeq int, onEvent func(sseEvent)) (terminal *sseEvent, newLast int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, lastSeq, err
+	}
+	if lastSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, lastSeq, workerDown(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, lastSeq, workerDown(fmt.Errorf("events %s: %s: %s", id, resp.Status, apiErrorBody(resp.Body)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	cur := sseEvent{seq: -1}
+	var data []byte
+	flush := func() (*sseEvent, bool) {
+		if len(data) == 0 {
+			cur = sseEvent{seq: -1}
+			return nil, false
+		}
+		if err := json.Unmarshal(data, &cur.ev); err != nil {
+			cur = sseEvent{seq: -1}
+			data = nil
+			return nil, false // malformed frame: skip, the view fetch is authoritative
+		}
+		cur.ev.Seq = cur.seq
+		out := cur
+		cur = sseEvent{seq: -1}
+		data = nil
+		if out.seq >= 0 {
+			lastSeq = out.seq
+		}
+		onEvent(out)
+		if out.ev.Kind == "done" || out.ev.Kind == "failed" {
+			return &out, true
+		}
+		return nil, false
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if term, done := flush(); done {
+				return term, lastSeq, nil
+			}
+		case strings.HasPrefix(line, ":"): // keep-alive comment
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(line[len("id: "):]); err == nil {
+				cur.seq = n
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.ev.Kind = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, lastSeq, workerDown(fmt.Errorf("events %s: %w", id, err))
+	}
+	// EOF without a terminal event: the worker closed the stream mid-job
+	// (drain, crash, or proxy timeout).
+	return nil, lastSeq, workerDown(fmt.Errorf("events %s: stream ended before the job finished", id))
+}
+
+// apiErrorBody extracts the server's JSON error envelope, falling back to
+// the raw body, truncated sanely.
+func apiErrorBody(r io.Reader) string {
+	body, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}

@@ -1,0 +1,349 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/cluster"
+	"repro/internal/isa"
+	"repro/internal/jobs"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// clGate mirrors the jobs/server test gates: the zz-cluster benchmark
+// blocks in Build until the installed channel is closed, which lets the
+// failover test pin every job of a sweep in flight before killing a
+// worker. The default channel is closed, so ungated tests run through.
+var clGate atomic.Value // of chan struct{}
+
+func init() {
+	closed := make(chan struct{})
+	close(closed)
+	clGate.Store(closed)
+	kernels.Register(&kernels.Benchmark{
+		Name:        "zz-cluster",
+		Suite:       "test",
+		Description: "blocks in Build until the test releases it",
+		Build: func(m *mem.Global, s kernels.Scale) (*kernels.Instance, error) {
+			<-clGate.Load().(chan struct{})
+			k, err := asm.Assemble("zz-cluster", "\tmov r0, %tid.x\n\texit\n")
+			if err != nil {
+				return nil, err
+			}
+			return &kernels.Instance{
+				Launch: isa.Launch{Kernel: k, Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}},
+				Check:  func(*mem.Global) error { return nil },
+			}, nil
+		},
+	})
+	kernels.Register(&kernels.Benchmark{
+		Name:        "zz-broken",
+		Suite:       "test",
+		Description: "always fails to build",
+		Build: func(m *mem.Global, s kernels.Scale) (*kernels.Instance, error) {
+			return nil, fmt.Errorf("zz-broken: deliberately broken benchmark")
+		},
+	})
+}
+
+func gate(t *testing.T) func() {
+	t.Helper()
+	ch := make(chan struct{})
+	clGate.Store(ch)
+	var once sync.Once
+	release := func() { once.Do(func() { close(ch) }) }
+	t.Cleanup(release)
+	return release
+}
+
+// testSpec is an 8-config campaign (4 compress × 2 decompress latencies)
+// over the gated benchmark — the sweep both e2e tests shard.
+func testSpec(t *testing.T) *sweep.Spec {
+	t.Helper()
+	spec, err := sweep.Parse([]byte(`{
+		"name": "cluster-e2e",
+		"benchmarks": ["zz-cluster"],
+		"base": {"NumSMs": 2},
+		"grid": {
+			"CompressLatency": [1, 2, 4, 8],
+			"DecompressLatency": [1, 2]
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// testWorker is one in-process warpedd: a jobs.Manager behind the real
+// HTTP handler.
+type testWorker struct {
+	mgr *jobs.Manager
+	ts  *httptest.Server
+}
+
+func startWorker(t *testing.T, cfg jobs.Config) *testWorker {
+	t.Helper()
+	mgr := jobs.NewManager(context.Background(), cfg)
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	t.Cleanup(ts.Close)
+	return &testWorker{mgr: mgr, ts: ts}
+}
+
+// kill takes the worker's HTTP front end down hard: the listener closes
+// and every live connection (including SSE streams) is severed, exactly
+// like a process crash as seen from the coordinator. httptest's Close
+// waits for in-flight handlers, so stragglers that reconnect during
+// shutdown are cut repeatedly until it returns.
+func (w *testWorker) kill() {
+	done := make(chan struct{})
+	go func() { w.ts.Close(); close(done) }()
+	for {
+		w.ts.CloseClientConnections()
+		select {
+		case <-done:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func newCoordinator(t *testing.T, workers ...*testWorker) (*cluster.Registry, *cluster.Coordinator) {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.ts.URL
+	}
+	reg, err := cluster.NewRegistry(urls, cluster.RegistryConfig{
+		BackoffBase: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := cluster.New(reg, cluster.Options{
+		WorkerAttempts: 2,
+		RetryBackoff:   10 * time.Millisecond,
+	})
+	return reg, coord
+}
+
+func workerCfg() jobs.Config {
+	return jobs.Config{Workers: 4, QueueDepth: 32, CacheSize: 32}
+}
+
+// TestShardedSweepMatchesSingleNode is the determinism oracle: the same
+// campaign run against two workers and against one must produce
+// byte-identical reports, and sharding must simulate every config exactly
+// once across the fleet.
+func TestShardedSweepMatchesSingleNode(t *testing.T) {
+	spec := testSpec(t)
+
+	a, b := startWorker(t, workerCfg()), startWorker(t, workerCfg())
+	defer a.mgr.Close()
+	defer b.mgr.Close()
+	_, coord := newCoordinator(t, a, b)
+	sharded, err := coord.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.Failed(); got != 0 {
+		t.Fatalf("sharded sweep had %d failures: %+v", got, sharded.Entries)
+	}
+	shardedBytes, err := sharded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := startWorker(t, workerCfg())
+	defer single.mgr.Close()
+	_, soloCoord := newCoordinator(t, single)
+	solo, err := soloCoord.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloBytes, err := solo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(shardedBytes, soloBytes) {
+		t.Fatalf("sharded report differs from single-node report:\n--- sharded ---\n%s\n--- single ---\n%s", shardedBytes, soloBytes)
+	}
+	if got := a.mgr.Stats().Completed + b.mgr.Stats().Completed; got != 8 {
+		t.Fatalf("cluster completed %d simulations, want exactly 8", got)
+	}
+	if got := len(sharded.Entries); got != 8 {
+		t.Fatalf("report has %d entries, want 8", got)
+	}
+	for _, e := range sharded.Entries {
+		if e.Result == nil || e.Signature == "" {
+			t.Fatalf("entry %s/%s missing result or signature", e.Config, e.Benchmark)
+		}
+	}
+}
+
+// TestFailoverMidSweep kills a worker while every job of the sweep is
+// pinned in flight, and requires the sweep to complete anyway — with each
+// config simulated exactly once across the cluster and the merged report
+// byte-identical to an untroubled single-node run.
+func TestFailoverMidSweep(t *testing.T) {
+	spec := testSpec(t)
+	release := gate(t)
+
+	a, b := startWorker(t, workerCfg()), startWorker(t, workerCfg())
+	defer a.mgr.Close()
+	defer b.mgr.Close()
+	_, coord := newCoordinator(t, a, b)
+
+	type outcome struct {
+		report *cluster.Report
+		err    error
+	}
+	sweepDone := make(chan outcome, 1)
+	go func() {
+		r, err := coord.RunSweep(context.Background(), spec)
+		sweepDone <- outcome{r, err}
+	}()
+
+	// Wait for all 8 jobs to be admitted somewhere, every one of them
+	// gated in Build, then pick a victim that actually holds jobs.
+	deadline := time.Now().Add(30 * time.Second)
+	for a.mgr.Stats().Submitted+b.mgr.Stats().Submitted < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs not admitted: a=%d b=%d",
+				a.mgr.Stats().Submitted, b.mgr.Stats().Submitted)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim, survivor := a, b
+	if victim.mgr.Stats().Submitted == 0 {
+		victim, survivor = b, a
+	}
+
+	// The crash: sever the HTTP front end, then shut the manager down.
+	// Close cancels the engine context *before* joining its workers, so
+	// once the gate opens the victim's pinned builds abort instead of
+	// completing — a killed worker must not contribute results.
+	victim.kill()
+	mgrClosed := make(chan struct{})
+	go func() { victim.mgr.Close(); close(mgrClosed) }()
+
+	// Canceling is observable: Close fails leftover jobs before joining
+	// the worker pool. Only then is it safe to open the gate.
+	for {
+		unfinished := 0
+		for _, v := range victim.mgr.Jobs() {
+			if v.State != jobs.StateDone && v.State != jobs.StateFailed {
+				unfinished++
+			}
+		}
+		if unfinished == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim still has %d unfinished jobs after kill", unfinished)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	release()
+	<-mgrClosed
+
+	out := <-sweepDone
+	if out.err != nil {
+		t.Fatalf("sweep failed after worker kill: %v", out.err)
+	}
+	if got := out.report.Failed(); got != 0 {
+		var errs []string
+		for _, e := range out.report.Entries {
+			if e.Error != "" {
+				errs = append(errs, fmt.Sprintf("%s/%s: %s", e.Config, e.Benchmark, e.Error))
+			}
+		}
+		t.Fatalf("%d job(s) failed despite failover:\n%s", got, strings.Join(errs, "\n"))
+	}
+
+	// Exactly-once: the victim's aborted builds completed nothing, so the
+	// survivor must account for all 8 simulations — no config twice.
+	if got := victim.mgr.Stats().Completed; got != 0 {
+		t.Fatalf("killed worker completed %d simulations, want 0", got)
+	}
+	if got := survivor.mgr.Stats().Completed; got != 8 {
+		t.Fatalf("survivor completed %d simulations, want 8", got)
+	}
+
+	// Determinism survives failover: byte-compare against a clean
+	// single-node run.
+	single := startWorker(t, workerCfg())
+	defer single.mgr.Close()
+	_, soloCoord := newCoordinator(t, single)
+	solo, err := soloCoord.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := out.report.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := solo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("failover report differs from single-node report:\n--- failover ---\n%s\n--- single ---\n%s", gotBytes, wantBytes)
+	}
+}
+
+// TestJobErrorDoesNotFailOver: a genuine job failure (the benchmark's
+// Build errors out) must land in the report as that job's error — not
+// quarantine the worker, not bounce the job around the fleet, and not
+// poison the rest of the sweep.
+func TestJobErrorDoesNotFailOver(t *testing.T) {
+	a, b := startWorker(t, workerCfg()), startWorker(t, workerCfg())
+	defer a.mgr.Close()
+	defer b.mgr.Close()
+	reg, coord := newCoordinator(t, a, b)
+
+	spec, err := sweep.Parse([]byte(`{
+		"name": "mixed",
+		"benchmarks": ["zz-cluster", "zz-broken"],
+		"base": {"NumSMs": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := coord.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Failed(); got != 1 {
+		t.Fatalf("report has %d failures, want exactly the broken benchmark: %+v", got, report.Entries)
+	}
+	for _, e := range report.Entries {
+		switch e.Benchmark {
+		case "zz-broken":
+			if e.Error == "" || !strings.Contains(e.Error, "deliberately broken") {
+				t.Fatalf("broken benchmark entry = %+v, want its build error", e)
+			}
+		case "zz-cluster":
+			if e.Result == nil || e.Error != "" {
+				t.Fatalf("healthy benchmark entry = %+v, want a result", e)
+			}
+		}
+	}
+	for _, w := range reg.Snapshot() {
+		if !w.Healthy {
+			t.Fatalf("worker %s quarantined by a job-level failure", w.URL)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RegistryConfig sizes the worker registry's health checking. Zero values
+// get defaults (see NewRegistry).
+type RegistryConfig struct {
+	// ProbeInterval is how often the background loop started by Start
+	// re-checks worker health (default 2s).
+	ProbeInterval time.Duration
+	// BackoffBase is the first quarantine period after a failure; each
+	// consecutive failure doubles it (default 500ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the quarantine period (default 30s).
+	BackoffMax time.Duration
+	// Client issues the probe requests. The default applies a 5s timeout.
+	Client *http.Client
+	// Log, when set, receives one line per health transition.
+	Log func(format string, args ...any)
+}
+
+// WorkerInfo is a point-in-time view of one registered worker.
+type WorkerInfo struct {
+	URL                 string
+	Instance            string // /v1/cluster/info identity, once probed
+	Healthy             bool
+	ConsecutiveFailures int
+	RetryAt             time.Time // quarantine expiry; zero when healthy
+}
+
+// workerState is the registry's mutable record for one worker.
+type workerState struct {
+	url         string
+	instance    string
+	healthy     bool
+	consecFails int
+	retryAt     time.Time
+}
+
+// Registry is the coordinator's health-checked worker set. Workers start
+// healthy (optimistic: the first real request finds out); the coordinator
+// reports observed failures with MarkDown, which quarantines a worker
+// under exponential backoff, and the probe loop started by Start re-admits
+// it once /readyz answers 200 again.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	cfg    RegistryConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	order   []string // registration order, for stable All()/Snapshot()
+	workers map[string]*workerState
+}
+
+// NewRegistry builds a registry over the given worker base URLs
+// (scheme://host:port, with or without a trailing slash).
+func NewRegistry(urls []string, cfg RegistryConfig) (*Registry, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 500 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	r := &Registry{cfg: cfg, client: client, workers: make(map[string]*workerState)}
+	for _, raw := range urls {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if _, dup := r.workers[u]; dup {
+			return nil, fmt.Errorf("cluster: worker %s listed twice", u)
+		}
+		r.workers[u] = &workerState{url: u, healthy: true}
+		r.order = append(r.order, u)
+	}
+	if len(r.order) == 0 {
+		return nil, errors.New("cluster: no workers given")
+	}
+	return r, nil
+}
+
+// Start launches the background probe loop; it stops when ctx is
+// canceled. Running without Start is fine for one-shot sweeps — MarkDown
+// still quarantines, workers just never recover.
+func (r *Registry) Start(ctx context.Context) {
+	go func() {
+		ticker := time.NewTicker(r.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				r.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce runs one health-check pass: every healthy worker is verified,
+// and every quarantined worker whose backoff has expired gets a readmission
+// probe. Exported so tests (and warpedctl, before a sweep) can force a
+// synchronous pass.
+func (r *Registry) ProbeOnce(ctx context.Context) {
+	r.mu.Lock()
+	due := make([]*workerState, 0, len(r.order))
+	now := time.Now()
+	for _, u := range r.order {
+		w := r.workers[u]
+		if w.healthy || !now.Before(w.retryAt) {
+			due = append(due, w)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, w := range due {
+		instance, err := r.probe(ctx, w.url)
+		r.mu.Lock()
+		if err != nil {
+			r.quarantineLocked(w, err)
+		} else {
+			if !w.healthy {
+				r.logf("cluster: worker %s healthy again (instance %s)", w.url, instance)
+			}
+			if w.instance != "" && w.instance != instance {
+				r.logf("cluster: worker %s restarted (instance %s -> %s); its caches are cold", w.url, w.instance, instance)
+			}
+			w.healthy = true
+			w.consecFails = 0
+			w.retryAt = time.Time{}
+			w.instance = instance
+		}
+		r.mu.Unlock()
+	}
+}
+
+// probe checks one worker: /readyz must answer 200 (a draining worker is
+// deliberately unhealthy — it refuses new jobs), then /v1/cluster/info
+// supplies the instance identity.
+func (r *Registry) probe(ctx context.Context, url string) (instance string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("readyz: %s", resp.Status)
+	}
+	info, err := fetchInfo(ctx, r.client, url)
+	if err != nil {
+		// Identity is advisory: an old worker without the endpoint is
+		// still usable.
+		return "", nil //nolint:nilerr
+	}
+	return info.Instance, nil
+}
+
+// MarkDown quarantines a worker after an observed failure (connection
+// refused, 5xx, mid-job death). Consecutive failures double the
+// quarantine period up to BackoffMax; the probe loop re-admits the worker
+// once it answers again.
+func (r *Registry) MarkDown(url string, cause error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[url]; ok {
+		r.quarantineLocked(w, cause)
+	}
+}
+
+func (r *Registry) quarantineLocked(w *workerState, cause error) {
+	w.consecFails++
+	backoff := r.cfg.BackoffBase << uint(min(w.consecFails-1, 16))
+	if backoff > r.cfg.BackoffMax {
+		backoff = r.cfg.BackoffMax
+	}
+	w.retryAt = time.Now().Add(backoff)
+	if w.healthy {
+		r.logf("cluster: worker %s down (%v); quarantined %s", w.url, cause, backoff)
+	}
+	w.healthy = false
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Log != nil {
+		r.cfg.Log(format, args...)
+	}
+}
+
+// All returns every registered worker URL in registration order.
+func (r *Registry) All() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Snapshot reports every worker's current health state.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, len(r.order))
+	for i, u := range r.order {
+		w := r.workers[u]
+		out[i] = WorkerInfo{
+			URL:                 w.url,
+			Instance:            w.instance,
+			Healthy:             w.healthy,
+			ConsecutiveFailures: w.consecFails,
+			RetryAt:             w.retryAt,
+		}
+	}
+	return out
+}
+
+// Candidates orders workers for a placement key: healthy workers in
+// rendezvous order, then quarantined ones in rendezvous order as a last
+// resort (a sweep with every worker marked down should still try, not
+// instantly fail).
+func (r *Registry) Candidates(key string) []string {
+	r.mu.Lock()
+	healthy := make([]string, 0, len(r.order))
+	down := make([]string, 0)
+	for _, u := range r.order {
+		if r.workers[u].healthy {
+			healthy = append(healthy, u)
+		} else {
+			down = append(down, u)
+		}
+	}
+	r.mu.Unlock()
+	return append(Rank(healthy, key), Rank(down, key)...)
+}

@@ -1,0 +1,130 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// flakyWorker is a /readyz endpoint whose health the test flips.
+func flakyWorker(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var up atomic.Bool
+	up.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if up.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &up
+}
+
+// TestRegistryQuarantine walks one worker through the health lifecycle:
+// optimistic start, quarantine with doubling backoff while it is down,
+// probe skips inside the backoff window, and readmission once it answers
+// again.
+func TestRegistryQuarantine(t *testing.T) {
+	ts, up := flakyWorker(t)
+	ctx := context.Background()
+	reg, err := cluster.NewRegistry([]string{ts.URL}, cluster.RegistryConfig{
+		BackoffBase: 40 * time.Millisecond,
+		BackoffMax:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if w := reg.Snapshot()[0]; !w.Healthy {
+		t.Fatal("workers must start healthy (optimistic)")
+	}
+	reg.ProbeOnce(ctx)
+	if w := reg.Snapshot()[0]; !w.Healthy {
+		t.Fatal("probe of a live worker must keep it healthy")
+	}
+
+	up.Store(false)
+	reg.ProbeOnce(ctx)
+	w := reg.Snapshot()[0]
+	if w.Healthy || w.ConsecutiveFailures != 1 {
+		t.Fatalf("after failed probe: %+v, want quarantined with 1 failure", w)
+	}
+	firstRetry := w.RetryAt
+	if !firstRetry.After(time.Now().Add(-time.Millisecond)) {
+		t.Fatalf("RetryAt %v not in the future", firstRetry)
+	}
+
+	// Inside the backoff window the worker must not be re-probed — the
+	// failure count stays put.
+	reg.ProbeOnce(ctx)
+	if w := reg.Snapshot()[0]; w.ConsecutiveFailures != 1 {
+		t.Fatalf("probe inside backoff window ran anyway: %+v", w)
+	}
+
+	// Past the window, a still-down worker doubles its quarantine.
+	time.Sleep(time.Until(firstRetry) + 5*time.Millisecond)
+	reg.ProbeOnce(ctx)
+	w = reg.Snapshot()[0]
+	if w.ConsecutiveFailures != 2 {
+		t.Fatalf("after second failed probe: %+v, want 2 failures", w)
+	}
+	if got := time.Until(w.RetryAt); got < 60*time.Millisecond {
+		t.Fatalf("backoff did not double: %v until retry, want >= ~80ms", got)
+	}
+
+	// Recovery: once the worker answers again it is readmitted and the
+	// failure count resets.
+	up.Store(true)
+	time.Sleep(time.Until(w.RetryAt) + 5*time.Millisecond)
+	reg.ProbeOnce(ctx)
+	w = reg.Snapshot()[0]
+	if !w.Healthy || w.ConsecutiveFailures != 0 || !w.RetryAt.IsZero() {
+		t.Fatalf("after recovery: %+v, want healthy with counters reset", w)
+	}
+}
+
+// TestCandidatesPreferHealthy: quarantined workers sort after every
+// healthy one, but are still offered as a last resort.
+func TestCandidatesPreferHealthy(t *testing.T) {
+	urls := []string{"http://w1:1", "http://w2:1", "http://w3:1"}
+	reg, err := cluster.NewRegistry(urls, cluster.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.MarkDown("http://w2:1", context.DeadlineExceeded)
+
+	cands := reg.Candidates("some|key")
+	if len(cands) != 3 {
+		t.Fatalf("Candidates returned %d workers, want all 3", len(cands))
+	}
+	if cands[2] != "http://w2:1" {
+		t.Fatalf("quarantined worker not last: %v", cands)
+	}
+}
+
+// TestRegistryRejectsBadFleets: duplicates and empty fleets are
+// configuration errors, caught at construction.
+func TestRegistryRejectsBadFleets(t *testing.T) {
+	if _, err := cluster.NewRegistry([]string{"http://a", "http://a/"}, cluster.RegistryConfig{}); err == nil {
+		t.Fatal("duplicate workers (modulo trailing slash) must be rejected")
+	}
+	if _, err := cluster.NewRegistry([]string{" ", ""}, cluster.RegistryConfig{}); err == nil {
+		t.Fatal("an empty fleet must be rejected")
+	}
+	reg, err := cluster.NewRegistry([]string{"localhost:8077"}, cluster.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.All()[0]; got != "http://localhost:8077" {
+		t.Fatalf("schemeless URL normalized to %q, want http:// prefix", got)
+	}
+}

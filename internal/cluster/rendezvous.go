@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rank orders workers for a placement key by rendezvous (highest random
+// weight) hashing: every (worker, key) pair gets an independent score and
+// the workers are returned best score first. The first element is the
+// key's home — where repeat submissions of the same configuration land, so
+// the worker's result cache and single-flight dedup keep working
+// cluster-wide — and the remainder is the deterministic failover order.
+//
+// Rendezvous hashing has the minimal-disruption property consistent
+// hashing is usually reached for, with no virtual-node bookkeeping: adding
+// a worker to a fleet of N reassigns only the ~1/(N+1) of keys whose new
+// score beats their old home, and removing a worker reassigns only that
+// worker's keys (everyone else's order is untouched).
+// TestRendezvousStability pins both properties.
+func Rank(workers []string, key string) []string {
+	type scored struct {
+		worker string
+		score  uint64
+	}
+	ranked := make([]scored, len(workers))
+	for i, w := range workers {
+		ranked[i] = scored{w, score(w, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].worker < ranked[j].worker // total order even on hash ties
+	})
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.worker
+	}
+	return out
+}
+
+// score hashes one (worker, key) pair. FNV-1a is enough here: placement
+// needs speed and spread, not adversarial collision resistance, and the
+// NUL separator keeps ("ab","c") distinct from ("a","bc").
+func score(worker, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(worker))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,83 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("bench-%d|cfg/v1:%08x", i%7, i*2654435761)
+	}
+	return out
+}
+
+// TestRendezvousStability pins the two properties placement relies on:
+// growing the fleet moves only ~1/(N+1) of the keys (all of them onto the
+// new worker), and removing a worker moves only that worker's keys.
+func TestRendezvousStability(t *testing.T) {
+	workers := []string{
+		"http://w1:8077", "http://w2:8077", "http://w3:8077", "http://w4:8077",
+	}
+	const n = 4000
+	home := make(map[string]string, n)
+	for _, k := range keys(n) {
+		home[k] = cluster.Rank(workers, k)[0]
+	}
+
+	// Grow: every moved key must land on the newcomer, and the moved
+	// fraction must sit near 1/5 (binomial around 800 of 4000; the bounds
+	// are generous enough to never flake with a fixed hash).
+	grown := append(append([]string(nil), workers...), "http://w5:8077")
+	moved := 0
+	for k, h := range home {
+		nh := cluster.Rank(grown, k)[0]
+		if nh != h {
+			moved++
+			if nh != "http://w5:8077" {
+				t.Fatalf("key %s moved %s -> %s, not to the new worker", k, h, nh)
+			}
+		}
+	}
+	if moved < n/10 || moved > 3*n/10 {
+		t.Fatalf("adding a 5th worker moved %d/%d keys, want ~%d (1/5)", moved, n, n/5)
+	}
+
+	// Shrink: keys homed elsewhere must not notice w3 leaving.
+	shrunk := []string{"http://w1:8077", "http://w2:8077", "http://w4:8077"}
+	for k, h := range home {
+		if h == "http://w3:8077" {
+			continue
+		}
+		if nh := cluster.Rank(shrunk, k)[0]; nh != h {
+			t.Fatalf("key %s moved %s -> %s when an unrelated worker left", k, h, nh)
+		}
+	}
+}
+
+// TestRankIsDeterministicPermutation: Rank must return every worker
+// exactly once, in an input-order-independent, repeatable order.
+func TestRankIsDeterministicPermutation(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	reversed := []string{"http://c", "http://b", "http://a"}
+	for _, k := range keys(100) {
+		r1 := cluster.Rank(workers, k)
+		r2 := cluster.Rank(reversed, k)
+		if len(r1) != 3 {
+			t.Fatalf("Rank returned %d workers, want 3", len(r1))
+		}
+		seen := map[string]bool{}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("key %s: rank depends on input order: %v vs %v", k, r1, r2)
+			}
+			seen[r1[i]] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("key %s: rank is not a permutation: %v", k, r1)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/sim"
+)
+
+// ReportSchema identifies the merged campaign report format. Like
+// warped.sim.result/v1 it is versioned: the field set below is the stable
+// contract, and adding fields is backward compatible within the version.
+const ReportSchema = "warped.campaign/v1"
+
+// Report is the merged outcome of one campaign: one entry per (config,
+// benchmark) job, in the spec's deterministic expansion order. It contains
+// no worker identities, timestamps or other placement-dependent data, so a
+// campaign's report is byte-identical whether it ran on one worker or
+// twenty, with or without mid-sweep failover — the determinism oracle
+// `make cluster-smoke` asserts.
+type Report struct {
+	Schema  string  `json:"schema"`
+	Name    string  `json:"name"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one job's outcome. Exactly one of Result and Error is set.
+type Entry struct {
+	Config    string      `json:"config"`
+	Benchmark string      `json:"benchmark"`
+	Signature string      `json:"signature"`
+	Result    *sim.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// Failed counts entries that ended in an error.
+func (r *Report) Failed() int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Error != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Marshal renders the canonical report document: indented JSON with a
+// trailing newline. Result payloads serialize through the versioned
+// warped.sim.result/v1 marshaler, so the bytes are stable across workers
+// and runs.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

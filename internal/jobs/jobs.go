@@ -27,6 +27,12 @@ var (
 	ErrDraining  = errors.New("jobs: draining, not accepting new jobs")
 )
 
+// ErrShutdown terminates jobs that were still queued or running when the
+// Manager was closed. Their subscribers receive an explicit terminal
+// "failed" event carrying this error instead of hanging on a stream that
+// will never produce another byte.
+var ErrShutdown = errors.New("jobs: manager shut down before the job finished")
+
 // UnknownBenchmarkError rejects a submission naming no registered workload.
 type UnknownBenchmarkError struct{ Name string }
 
@@ -49,6 +55,12 @@ const (
 // from the Manager; sim-* and coalesced events are the engine's progress
 // stream scoped to this job's (benchmark, signature) key.
 type Event struct {
+	// Seq is the event's position in the job's history, assigned at append
+	// time. It is the SSE event id (`id:` line), which lets a disconnected
+	// client resume with Last-Event-ID without replaying what it has seen.
+	// Advisory events that are fanned out live but not recorded in the
+	// history (e.g. "draining") carry Seq -1.
+	Seq       int    `json:"-"`
 	Kind      string `json:"kind"`
 	Attempt   int    `json:"attempt,omitempty"`
 	Cycles    uint64 `json:"cycles,omitempty"`
@@ -141,9 +153,24 @@ func (j *Job) Result() (*sim.Result, error) {
 // events beyond the buffer are dropped for that subscriber (the full
 // history remains available via a fresh Subscribe or the job view).
 func (j *Job) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	return j.SubscribeFrom(-1)
+}
+
+// SubscribeFrom is Subscribe resuming after a known event: the replay
+// holds only events with Seq > after (pass -1 for the full history). It is
+// the Last-Event-ID primitive: a client that saw event N reconnects with
+// after=N and misses nothing, duplicates nothing.
+func (j *Job) SubscribeFrom(after int) (replay []Event, ch <-chan Event, cancel func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay = append([]Event(nil), j.events...)
+	from := after + 1
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	replay = append([]Event(nil), j.events[from:]...)
 	if j.state == StateDone || j.state == StateFailed {
 		return replay, nil, func() {}
 	}
@@ -167,6 +194,7 @@ func (j *Job) append(ev Event) {
 }
 
 func (j *Job) appendLocked(ev Event) {
+	ev.Seq = len(j.events)
 	j.events = append(j.events, ev)
 	for c := range j.subs {
 		select {
@@ -176,20 +204,44 @@ func (j *Job) appendLocked(ev Event) {
 	}
 }
 
-// setRunning transitions queued → running.
+// notify fans an advisory event out to live subscribers without recording
+// it in the replayable history (its Seq is forced to -1, so it never
+// claims an SSE event id).
+func (j *Job) notify(ev Event) {
+	ev.Seq = -1
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for c := range j.subs {
+		select {
+		case c <- ev:
+		default:
+		}
+	}
+}
+
+// setRunning transitions queued → running. A job already forced to a
+// terminal state (shutdown) stays there.
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.appendLocked(Event{Kind: "running"})
 }
 
 // finish completes the job, emits the terminal event and closes every
-// subscriber channel.
+// subscriber channel. It is idempotent: a job can reach a terminal state
+// only once, so a worker completing a job the shutdown path already failed
+// (or vice versa) is a no-op.
 func (j *Job) finish(res *sim.Result, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
 	j.result, j.err = res, err
 	j.finished = time.Now()
 	ev := Event{Kind: "done"}
@@ -242,9 +294,16 @@ type Stats struct {
 	Failed    uint64 // finished with an error
 	Coalesced uint64 // joined an in-flight identical simulation
 
-	CacheHits    uint64 // served entirely from the LRU result cache
-	CacheMisses  uint64
-	CacheEntries int
+	// Reject reasons, split so operators can tell backpressure (queue
+	// full, client should retry) from lifecycle (draining, client should
+	// go elsewhere). RejectedFull + RejectedDraining == Rejected.
+	RejectedFull     uint64
+	RejectedDraining uint64
+
+	CacheHits      uint64 // served entirely from the LRU result cache
+	CacheMisses    uint64
+	CacheEvictions uint64 // results dropped by LRU capacity pressure
+	CacheEntries   int
 
 	SimCycles uint64 // total simulated cycles across completed runs
 
@@ -285,10 +344,11 @@ type Manager struct {
 	cache    *lru
 	nextID   uint64
 
-	submitted, rejected, completed, failed uint64
-	coalesced, cacheHits, cacheMisses      uint64
-	simCycles                              uint64
-	queued, running                        int
+	submitted, completed, failed      uint64
+	rejectedFull, rejectedDraining    uint64
+	coalesced, cacheHits, cacheMisses uint64
+	simCycles                         uint64
+	queued, running                   int
 }
 
 // NewManager builds and starts a Manager. ctx bounds every simulation it
@@ -357,7 +417,7 @@ func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
 
 	m.mu.Lock()
 	if m.draining {
-		m.rejected++
+		m.rejectedDraining++
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
@@ -388,7 +448,7 @@ func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
 		return job, nil
 	default:
 		m.pending.Done()
-		m.rejected++
+		m.rejectedFull++
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
@@ -544,10 +604,19 @@ func (m *Manager) Draining() bool {
 // waits for every admitted job — queued and running — to finish, or for
 // ctx to expire, whichever comes first. It does not stop the workers; call
 // Close afterwards. Drain is idempotent.
+//
+// Every open event subscription receives an advisory "draining" event
+// immediately, so streaming clients (the cluster coordinator above all)
+// learn the process is going away while their job is still in flight and
+// can arrange failover instead of discovering it via a TCP timeout.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
+	live := m.unfinishedLocked()
 	m.mu.Unlock()
+	for _, j := range live {
+		j.notify(Event{Kind: "draining"})
+	}
 	done := make(chan struct{})
 	go func() {
 		m.pending.Wait()
@@ -563,7 +632,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 
 // Close shuts the Manager down: admission stops, the engine's context is
 // canceled (aborting any in-flight simulations — Drain first for a
-// graceful exit), and the workers are joined.
+// graceful exit), and the workers are joined. Jobs that were still queued
+// or running are failed with ErrShutdown, which delivers an explicit
+// terminal "failed" event to their subscribers and closes the streams —
+// no SSE client is left hanging on a job that will never finish.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if !m.closed {
@@ -571,9 +643,28 @@ func (m *Manager) Close() {
 		m.draining = true
 		close(m.queue)
 	}
+	live := m.unfinishedLocked()
 	m.mu.Unlock()
 	m.cancel()
+	for _, j := range live {
+		j.finish(nil, ErrShutdown)
+	}
 	m.wg.Wait()
+}
+
+// unfinishedLocked snapshots every job not yet in a terminal state.
+// Caller holds m.mu.
+func (m *Manager) unfinishedLocked() []*Job {
+	var live []*Job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed
+		j.mu.Unlock()
+		if !terminal {
+			live = append(live, j)
+		}
+	}
+	return live
 }
 
 // Stats snapshots the counters.
@@ -581,20 +672,23 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Submitted:     m.submitted,
-		Rejected:      m.rejected,
-		Completed:     m.completed,
-		Failed:        m.failed,
-		Coalesced:     m.coalesced,
-		CacheHits:     m.cacheHits,
-		CacheMisses:   m.cacheMisses,
-		CacheEntries:  m.cache.len(),
-		SimCycles:     m.simCycles,
-		Queued:        m.queued,
-		Running:       m.running,
-		QueueCapacity: m.cfg.QueueDepth,
-		Workers:       m.cfg.Workers,
-		Draining:      m.draining,
+		Submitted:        m.submitted,
+		Rejected:         m.rejectedFull + m.rejectedDraining,
+		RejectedFull:     m.rejectedFull,
+		RejectedDraining: m.rejectedDraining,
+		Completed:        m.completed,
+		Failed:           m.failed,
+		Coalesced:        m.coalesced,
+		CacheHits:        m.cacheHits,
+		CacheMisses:      m.cacheMisses,
+		CacheEvictions:   m.cache.evictions,
+		CacheEntries:     m.cache.len(),
+		SimCycles:        m.simCycles,
+		Queued:           m.queued,
+		Running:          m.running,
+		QueueCapacity:    m.cfg.QueueDepth,
+		Workers:          m.cfg.Workers,
+		Draining:         m.draining,
 	}
 }
 

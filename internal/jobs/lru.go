@@ -18,6 +18,7 @@ type lru struct {
 	items map[string]*list.Element
 
 	hits, misses uint64
+	evictions    uint64
 }
 
 type lruEntry struct {
@@ -60,6 +61,7 @@ func (c *lru) add(key string, res *sim.Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 

@@ -90,11 +90,14 @@ func writeMetrics(w io.Writer, st jobs.Stats, hs *httpStats, ready bool, info ve
 
 	counter("warpedd_jobs_submitted_total", "Jobs admitted to the queue.", st.Submitted)
 	counter("warpedd_jobs_rejected_total", "Submissions refused (queue full or draining).", st.Rejected)
+	counter("warpedd_jobs_rejected_queue_full_total", "Submissions refused because the admission queue was at capacity (backpressure).", st.RejectedFull)
+	counter("warpedd_jobs_rejected_draining_total", "Submissions refused because a drain had begun.", st.RejectedDraining)
 	counter("warpedd_jobs_completed_total", "Jobs finished successfully.", st.Completed)
 	counter("warpedd_jobs_failed_total", "Jobs finished with an error.", st.Failed)
 	counter("warpedd_jobs_coalesced_total", "Jobs that joined an in-flight identical simulation.", st.Coalesced)
 	counter("warpedd_cache_hits_total", "Submissions served from the result cache.", st.CacheHits)
 	counter("warpedd_cache_misses_total", "Submissions that missed the result cache.", st.CacheMisses)
+	counter("warpedd_cache_evictions_total", "Results evicted from the LRU cache by capacity pressure.", st.CacheEvictions)
 	counter("warpedd_sim_cycles_total", "Simulated GPU cycles across completed runs (rate() gives sim-cycles/s).", st.SimCycles)
 
 	gauge("warpedd_cache_entries", "Results currently held in the LRU cache.", float64(st.CacheEntries))

@@ -11,12 +11,15 @@
 //	GET  /v1/jobs/{id}/events  progress stream (SSE)
 //	GET  /v1/benchmarks      registered workloads
 //	GET  /v1/version         build identity
+//	GET  /v1/cluster/info    worker identity for the cluster coordinator
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness    GET /readyz  readiness (503 while draining)
 package server
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,10 +35,13 @@ import (
 // Server translates HTTP to jobs.Manager calls. Build one with New; it is
 // safe for concurrent use by any number of clients.
 type Server struct {
-	mgr  *jobs.Manager
-	mux  *http.ServeMux
-	http *httpStats
-	info version.Info
+	mgr      *jobs.Manager
+	mux      *http.ServeMux
+	http     *httpStats
+	info     version.Info
+	instance string
+
+	sseKeepAlive time.Duration // see SetSSEKeepAlive
 }
 
 // New wires the route table onto mgr. The caller keeps ownership of the
@@ -43,10 +49,11 @@ type Server struct {
 // the same drain path serves signal handlers and tests alike.
 func New(mgr *jobs.Manager) *Server {
 	s := &Server{
-		mgr:  mgr,
-		mux:  http.NewServeMux(),
-		http: newHTTPStats(),
-		info: version.Get("warpedd"),
+		mgr:      mgr,
+		mux:      http.NewServeMux(),
+		http:     newHTTPStats(),
+		info:     version.Get("warpedd"),
+		instance: newInstanceID(),
 	}
 	s.handle("POST /v1/jobs", s.handleSubmit)
 	s.handle("GET /v1/jobs", s.handleList)
@@ -54,10 +61,31 @@ func New(mgr *jobs.Manager) *Server {
 	s.handle("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.handle("GET /v1/benchmarks", s.handleBenchmarks)
 	s.handle("GET /v1/version", s.handleVersion)
+	s.handle("GET /v1/cluster/info", s.handleClusterInfo)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
 	return s
+}
+
+// newInstanceID draws the process-unique worker identity reported by
+// /v1/cluster/info. It is fresh per Server, so a coordinator can tell a
+// restarted worker (same address, new instance) from a live one.
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SetSSEKeepAlive overrides how often idle event streams emit a
+// `: keep-alive` comment (default 15s). Call it before serving traffic;
+// tests and the -sse-keepalive flag use it.
+func (s *Server) SetSSEKeepAlive(d time.Duration) {
+	if d > 0 {
+		s.sseKeepAlive = d
+	}
 }
 
 // Handler returns the root handler for an http.Server (or httptest).
@@ -211,6 +239,33 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.info)
+}
+
+// ClusterInfo is the GET /v1/cluster/info payload: everything a cluster
+// coordinator needs to identify and size up a worker. Instance is freshly
+// drawn per process, so "same URL, different instance" means the worker
+// restarted and its in-memory state (jobs, result cache) is gone.
+type ClusterInfo struct {
+	Instance      string       `json:"instance"`
+	Version       version.Info `json:"version"`
+	Scale         string       `json:"scale"`
+	Workers       int          `json:"workers"`
+	QueueCapacity int          `json:"queue_capacity"`
+	CacheEntries  int          `json:"cache_entries"`
+	Draining      bool         `json:"draining"`
+}
+
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, ClusterInfo{
+		Instance:      s.instance,
+		Version:       s.info,
+		Scale:         s.mgr.Scale().String(),
+		Workers:       st.Workers,
+		QueueCapacity: st.QueueCapacity,
+		CacheEntries:  st.CacheEntries,
+		Draining:      st.Draining,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,244 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// sseFrame is one parsed server-sent event as the satellite tests see it.
+type sseFrame struct {
+	id   int // -1 when the frame carried no id: line
+	kind string
+}
+
+// readFrames consumes a stream until it ends or n frames arrived (n < 0
+// reads to EOF), also counting keep-alive comments.
+func readFrames(t *testing.T, r *bufio.Scanner, n int) (frames []sseFrame, keepAlives int) {
+	t.Helper()
+	cur := sseFrame{id: -1}
+	sawData := false
+	for r.Scan() {
+		line := r.Text()
+		switch {
+		case line == "":
+			if sawData {
+				frames = append(frames, cur)
+				if n >= 0 && len(frames) >= n {
+					return frames, keepAlives
+				}
+			}
+			cur = sseFrame{id: -1}
+			sawData = false
+		case strings.HasPrefix(line, ":"):
+			keepAlives++
+		case strings.HasPrefix(line, "id: "):
+			cur.id, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			sawData = true
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return frames, keepAlives
+}
+
+func openStream(t *testing.T, ts *httptest.Server, id string, lastEventID int) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("events = %d, want 200", resp.StatusCode)
+	}
+	return resp
+}
+
+// TestSSEResume: a client that reconnects with Last-Event-ID must see
+// exactly the events after that id — no gaps, no replays.
+func TestSSEResume(t *testing.T) {
+	_, ts := newServer(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+	release := gate(t)
+
+	j := postJob(t, ts, submitBody(""), http.StatusAccepted)
+
+	// First connection: read queued + running, remember where we got to,
+	// then drop the connection mid-job.
+	resp := openStream(t, ts, j.ID, -1)
+	frames, _ := readFrames(t, bufio.NewScanner(resp.Body), 2)
+	resp.Body.Close()
+	if len(frames) != 2 || frames[0].kind != "queued" || frames[1].kind != "running" {
+		t.Fatalf("first half = %+v, want queued, running", frames)
+	}
+	if frames[0].id != 0 || frames[1].id != 1 {
+		t.Fatalf("event ids = %+v, want 0 and 1", frames)
+	}
+
+	// Finish the job while no one is connected.
+	release()
+	waitJobState(t, ts, j.ID, jobs.StateDone)
+
+	// Resume after id 1: only the missed tail may arrive.
+	resp = openStream(t, ts, j.ID, frames[1].id)
+	tail, _ := readFrames(t, bufio.NewScanner(resp.Body), -1)
+	resp.Body.Close()
+	kinds := make([]string, len(tail))
+	for i, f := range tail {
+		kinds[i] = f.kind
+		if f.id <= frames[1].id {
+			t.Fatalf("resumed stream replayed event id %d (already seen through %d)", f.id, frames[1].id)
+		}
+	}
+	if want := "sim-start,sim-done,done"; strings.Join(kinds, ",") != want {
+		t.Fatalf("resumed tail = %v, want %s", kinds, want)
+	}
+
+	// A malformed Last-Event-ID is a client error, not a silent restart.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+j.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	badResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID = %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestSSEKeepAlive: an idle stream must carry periodic comment lines so
+// proxies and clients can tell a quiet job from a dead connection.
+func TestSSEKeepAlive(t *testing.T) {
+	mgr := jobs.NewManager(context.Background(), jobs.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	t.Cleanup(mgr.Close)
+	api := server.New(mgr)
+	api.SetSSEKeepAlive(20 * time.Millisecond)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+
+	release := gate(t)
+	j := postJob(t, ts, submitBody(""), http.StatusAccepted)
+
+	resp := openStream(t, ts, j.ID, -1)
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	// The job is pinned in Build, so after the queued/running frames the
+	// stream goes idle: keep-alive comments are all that flows. Count a
+	// few, then let the job finish and require a clean terminal frame.
+	// (If keep-alives never come, the scan blocks and the test times out.)
+	keepAlives := 0
+	for keepAlives < 3 && sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ":") {
+			keepAlives++
+		}
+	}
+	if keepAlives < 3 {
+		t.Fatalf("stream ended after %d keep-alives, want 3 on an idle job", keepAlives)
+	}
+	release()
+	tail, _ := readFrames(t, sc, -1)
+	if len(tail) == 0 || tail[len(tail)-1].kind != "done" {
+		t.Fatalf("stream after idle period = %+v, want to end with done", tail)
+	}
+}
+
+// TestDrainAdvisoryEvent: Drain must tell connected subscribers the
+// process is going away — an advisory, id-less "draining" frame — while
+// their job keeps running to completion.
+func TestDrainAdvisoryEvent(t *testing.T) {
+	mgr, ts := newServer(t, jobs.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	release := gate(t)
+
+	j := postJob(t, ts, submitBody(""), http.StatusAccepted)
+	resp := openStream(t, ts, j.ID, -1)
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	// queued, running, then sim-start (the engine emits it before the
+	// gated Build blocks).
+	if frames, _ := readFrames(t, sc, 3); frames[2].kind != "sim-start" {
+		t.Fatalf("prelude = %+v", frames)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- mgr.Drain(context.Background()) }()
+
+	frames, _ := readFrames(t, sc, 1)
+	if frames[0].kind != "draining" {
+		t.Fatalf("got %+v, want the draining advisory", frames[0])
+	}
+	if frames[0].id != -1 {
+		t.Fatalf("draining advisory carried id %d; advisories must not burn history ids", frames[0].id)
+	}
+
+	release()
+	tail, _ := readFrames(t, sc, -1)
+	if last := tail[len(tail)-1]; last.kind != "done" {
+		t.Fatalf("stream after drain ended with %q, want done", last.kind)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestCloseTerminatesStreams is the shutdown bugfix's contract: Close
+// must end open streams with an explicit terminal "failed" frame carrying
+// the shutdown error — not leave them hanging until a TCP timeout.
+func TestCloseTerminatesStreams(t *testing.T) {
+	mgr, ts := newServer(t, jobs.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	release := gate(t)
+
+	j := postJob(t, ts, submitBody(""), http.StatusAccepted)
+	resp := openStream(t, ts, j.ID, -1)
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if frames, _ := readFrames(t, sc, 2); frames[1].kind != "running" {
+		t.Fatalf("prelude = %+v", frames)
+	}
+
+	// Close blocks joining the pinned worker, so run it aside; the
+	// terminal frame must arrive *before* the gate releases.
+	closed := make(chan struct{})
+	go func() { mgr.Close(); close(closed) }()
+
+	streamEnded := make(chan []sseFrame, 1)
+	go func() {
+		frames, _ := readFrames(t, sc, -1)
+		streamEnded <- frames
+	}()
+	select {
+	case frames := <-streamEnded:
+		if len(frames) == 0 || frames[len(frames)-1].kind != "failed" {
+			t.Fatalf("stream ended with %+v, want a terminal failed frame", frames)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream still open after Close; subscribers left hanging")
+	}
+
+	v := getJob(t, ts, j.ID)
+	if v.State != jobs.StateFailed || !strings.Contains(v.Error, "shut down") {
+		t.Fatalf("job after Close = %+v, want failed with the shutdown error", v)
+	}
+	release()
+	<-closed
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end check of the cluster sharding path.
+#
+# Boots two warpedd workers, runs the smoke campaign sharded across both
+# with warpedctl, then runs the identical campaign against a single
+# worker and requires the two merged reports to be byte-identical: the
+# determinism contract of DESIGN.md §14 on real processes and sockets.
+#
+# Usage: scripts/cluster_smoke.sh [port1 [port2]]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT1="${1:-18077}"
+PORT2="${2:-18078}"
+SPEC="examples/sweeps/smoke.json"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${PIDS[@]:-}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== building warpedd and warpedctl"
+go build -o "$WORKDIR/warpedd" ./cmd/warpedd
+go build -o "$WORKDIR/warpedctl" ./cmd/warpedctl
+
+start_worker() {
+    local port="$1"
+    "$WORKDIR/warpedd" -addr "127.0.0.1:$port" -scale small \
+        >"$WORKDIR/worker-$port.log" 2>&1 &
+    PIDS+=($!)
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "worker on :$port never became healthy" >&2
+    cat "$WORKDIR/worker-$port.log" >&2
+    return 1
+}
+
+echo "== starting two workers (:$PORT1, :$PORT2)"
+start_worker "$PORT1"
+start_worker "$PORT2"
+
+echo "== sharded sweep across both workers"
+"$WORKDIR/warpedctl" sweep \
+    -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" \
+    -spec "$SPEC" -o "$WORKDIR/sharded.json" -quiet
+
+echo "== same sweep against a single worker"
+"$WORKDIR/warpedctl" sweep \
+    -workers "http://127.0.0.1:$PORT1" \
+    -spec "$SPEC" -o "$WORKDIR/single.json" -quiet
+
+echo "== comparing reports"
+if ! cmp "$WORKDIR/sharded.json" "$WORKDIR/single.json"; then
+    echo "FAIL: sharded report differs from single-node report" >&2
+    diff "$WORKDIR/sharded.json" "$WORKDIR/single.json" >&2 || true
+    exit 1
+fi
+
+echo "== worker fleet health (warpedctl info)"
+"$WORKDIR/warpedctl" info \
+    -workers "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2"
+
+echo "PASS: sharded sweep is byte-identical to single-node ($(wc -c <"$WORKDIR/sharded.json") bytes)"
