@@ -10,15 +10,18 @@ test:
 
 # verify is the tier-1 gate (see ROADMAP.md): static analysis, the full
 # test suite under the race detector, and short-budget fuzz passes over the
-# parser-shaped surfaces (assembler, BDI codec, fault injector). The
-# parallel experiment engine is exercised concurrently by its own tests, so
-# -race is load-bearing here, not ceremonial.
+# parser-shaped surfaces (assembler, BDI codec, fault injector, the
+# warped.trace/v1 wire reader) plus the record/replay determinism oracle.
+# The parallel experiment engine is exercised concurrently by its own
+# tests, so -race is load-bearing here, not ceremonial.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=3s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzBDIRoundTrip -fuzztime=3s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzTraceRead -fuzztime=3s ./internal/exectrace
+	$(GO) test -run=^$$ -fuzz=FuzzRecordReplay -fuzztime=3s ./internal/sim
 
 # Benchmark-regression workflow (DESIGN.md §12): `make bench` runs the
 # benchmark filter BENCH with allocation reporting, BENCHCOUNT times, and

@@ -22,12 +22,20 @@ import (
 	"repro/warped"
 )
 
-// benchOpts is the Small-scale, 4-SM setup the harness uses so that one
-// exhibit regeneration stays around a second.
-func benchOpts() experiments.Options {
+// benchRunner builds the Small-scale, 4-SM sequential runner the harness
+// uses so that one exhibit regeneration stays around a second.
+func benchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
 	base := sim.DefaultConfig()
 	base.NumSMs = 4
-	return experiments.Options{Scale: kernels.Small, Base: &base}
+	r, err := experiments.New(context.Background(),
+		experiments.WithScale(kernels.Small),
+		experiments.WithParallelism(1),
+		experiments.WithBaseConfig(base))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
 }
 
 // benchExhibit regenerates one exhibit per iteration and reports `metric`
@@ -37,8 +45,7 @@ func benchExhibit(b *testing.B, id string, metricName string, metric func(*exper
 	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchOpts())
-		tab, err := r.Run(id)
+		tab, err := benchRunner(b).Run(id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,6 +224,53 @@ func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
 // with 4+ cores the wall-clock ratio should exceed 2x (the 16 jobs are
 // independent and the simulator is CPU-bound).
 func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.GOMAXPROCS(0)) }
+
+// --- Execute-once / replay-N ---
+
+// benchConfigSweep runs one benchmark under 8 distinct configurations —
+// the shape of every design-space figure — either executing each config
+// from scratch or recording the functional front-end once and replaying
+// it into the other seven timing configurations.
+func benchConfigSweep(b *testing.B, recordReplay bool) {
+	b.Helper()
+	base := sim.DefaultConfig()
+	base.NumSMs = 4
+	var cfgs []sim.Config
+	for _, lat := range []int{1, 2, 4, 8} {
+		c := base
+		c.CompressLatency = lat
+		cfgs = append(cfgs, c)
+		c = base
+		c.DecompressLatency = lat
+		cfgs = append(cfgs, c)
+	}
+	bench, ok := kernels.ByName("pathfinder")
+	if !ok {
+		b.Fatal("pathfinder benchmark missing")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := experiments.NewEngine(context.Background(), experiments.EngineConfig{
+			Parallelism:  1,
+			Scale:        kernels.Small,
+			RecordReplay: recordReplay,
+		})
+		for _, c := range cfgs {
+			if _, err := eng.Run(bench, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkConfigSweepExecute is the execute-every-config reference point
+// for the record/replay speedup (compare with benchstat; the replay sweep
+// should come in at least 3x faster).
+func BenchmarkConfigSweepExecute(b *testing.B) { benchConfigSweep(b, false) }
+
+// BenchmarkConfigSweepRecordReplay runs the same 8-config sweep through
+// the execute-once / replay-N path.
+func BenchmarkConfigSweepRecordReplay(b *testing.B) { benchConfigSweep(b, true) }
 
 // --- Microbenchmarks of the primitives underlying every figure ---
 

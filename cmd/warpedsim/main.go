@@ -5,10 +5,19 @@
 // Usage:
 //
 //	warpedsim -bench pathfinder
-//	warpedsim -bench bfs -mode off -scheduler lrr -scale large
+//	warpedsim -bench bfs -compression off -scheduler lrr -scale large
 //	warpedsim -asm kernel.s -grid 30 -block 256
 //	warpedsim -bench srad -compare -parallel -timeout 5m
 //	warpedsim -bench bfs -inject seed=42,stuck=2,redirect
+//	warpedsim -mode record -bench bfs -trace bfs.trace
+//	warpedsim -mode replay -trace bfs.trace -compression off
+//
+// -mode selects the run mode: execute (the default full simulation),
+// record (execute once and persist the functional execution as a
+// warped.trace/v1 file), or replay (re-time a recorded trace under this
+// invocation's configuration — byte-identical to executing it). The old
+// compression-mode values of -mode (off, warped, only40, only41, only42)
+// are accepted as deprecated aliases for -compression.
 package main
 
 import (
@@ -33,7 +42,9 @@ func main() {
 		grid     = flag.Int("grid", 30, "grid size in CTAs (with -asm)")
 		block    = flag.Int("block", 256, "CTA size in threads (with -asm)")
 		scale    = flag.String("scale", "medium", "benchmark scale: small, medium, large")
-		mode     = flag.String("mode", "warped", "compression mode: off, warped, only40, only41, only42")
+		mode     = flag.String("mode", "execute", "run mode: execute, record, replay (compression-mode values are deprecated aliases for -compression)")
+		comp     = flag.String("compression", "warped", "compression mode: off, warped, only40, only41, only42")
+		traceOut = flag.String("trace", "", "trace file: output path with -mode record, input path with -mode replay")
 		sched    = flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
 		sms      = flag.Int("sms", 15, "number of SMs")
 		compLat  = flag.Int("complat", 2, "compression latency in cycles")
@@ -78,12 +89,26 @@ func main() {
 		defer cancel()
 	}
 
+	runMode := "execute"
+	compression := *comp
+	switch *mode {
+	case "execute", "record", "replay":
+		runMode = *mode
+	case "off", "warped", "only40", "only41", "only42":
+		// Pre-trace releases used -mode for the compression mode; honour
+		// the old spelling but steer callers to -compression.
+		fmt.Fprintf(os.Stderr, "warpedsim: -mode %s is deprecated; use -compression %s\n", *mode, *mode)
+		compression = *mode
+	default:
+		fatal("unknown mode %q (execute, record, replay; compression modes moved to -compression)", *mode)
+	}
+
 	cfg := warped.DefaultConfig()
 	cfg.NumSMs = *sms
 	cfg.Scheduler = *sched
 	cfg.CompressLatency = *compLat
 	cfg.DecompressLatency = *decLat
-	switch *mode {
+	switch compression {
 	case "off":
 		cfg.Mode, cfg.PowerGating = warped.ModeOff, false
 	case "warped":
@@ -95,7 +120,7 @@ func main() {
 	case "only42":
 		cfg.Mode = warped.ModeOnly42
 	default:
-		fatal("unknown mode %q", *mode)
+		fatal("unknown compression mode %q", compression)
 	}
 	if *inject != "" {
 		fc, err := warped.ParseFaultSpec(*inject)
@@ -118,6 +143,39 @@ func main() {
 		sc = warped.Large
 	default:
 		fatal("unknown scale %q", *scale)
+	}
+
+	if runMode != "execute" {
+		if *traceOut == "" {
+			fatal("-mode %s requires -trace <file>", runMode)
+		}
+		if *compare {
+			fatal("-compare is not supported with -mode %s", runMode)
+		}
+	}
+	if runMode == "replay" {
+		if *bench != "" || *asmFile != "" {
+			fatal("-mode replay takes its kernel from the trace; drop -bench/-asm")
+		}
+		replayTrace(ctx, cfg, *traceOut, *jsonOut)
+		return
+	}
+	if runMode == "record" {
+		res, err := recordOnce(ctx, cfg, *bench, *asmFile, sc, *grid, *block, *traceOut, *scale)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fatal("%v", err)
+			}
+		} else {
+			printSummary(res)
+			fmt.Printf("\ntrace               %s written to %s\n", warped.TraceSchema, *traceOut)
+		}
+		return
 	}
 
 	// With -compare -parallel, the baseline simulates concurrently with the
@@ -244,6 +302,110 @@ func runOnce(ctx context.Context, cfg warped.Config, bench, asmFile string, sc w
 		return gpu.RunContext(ctx, warped.Launch{Kernel: k, Grid: warped.Dim3{X: grid}, Block: warped.Dim3{X: block}})
 	}
 	return nil, fmt.Errorf("need -bench or -asm (or -list)")
+}
+
+// recordOnce executes the kernel once in record mode, validates its output
+// and persists the captured functional execution as a warped.trace/v1 file
+// at path. The returned Result is byte-identical to an execute-mode run.
+func recordOnce(ctx context.Context, cfg warped.Config, bench, asmFile string, sc warped.Scale,
+	grid, block int, path, scaleName string) (*warped.Result, error) {
+	gpu, err := warped.NewGPU(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		launch warped.Launch
+		check  func(*warped.Memory) error
+		meta   warped.TraceMeta
+	)
+	switch {
+	case bench != "":
+		b, ok := warped.BenchmarkByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (use -list)", bench)
+		}
+		inst, err := b.Build(gpu.Mem(), sc)
+		if err != nil {
+			return nil, err
+		}
+		launch, check = inst.Launch, inst.Check
+		meta.Benchmark, meta.Scale = bench, scaleName
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		k, err := warped.Assemble(asmFile, string(src))
+		if err != nil {
+			return nil, err
+		}
+		launch = warped.Launch{Kernel: k, Grid: warped.Dim3{X: grid}, Block: warped.Dim3{X: block}}
+	default:
+		return nil, fmt.Errorf("need -bench or -asm (or -list)")
+	}
+	res, lt, err := gpu.RecordContextBeat(ctx, launch, nil)
+	if err != nil {
+		return nil, err
+	}
+	if check != nil {
+		if err := check(gpu.Mem()); err != nil {
+			return nil, fmt.Errorf("output validation failed (trace not written): %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	tr := &warped.Trace{Meta: meta, Launches: []*warped.TraceLaunch{lt}}
+	if err := warped.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// replayTrace re-times every launch of a recorded trace under cfg. The
+// trace is self-contained, so no benchmark build or output check happens;
+// validity was anchored when the trace was recorded.
+func replayTrace(ctx context.Context, cfg warped.Config, path string, jsonOut bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tr, err := warped.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal("-trace %s: %v", path, err)
+	}
+	if !jsonOut && tr.Meta.Benchmark != "" {
+		fmt.Printf("replaying %s (%s scale, recorded as %s)\n\n", tr.Meta.Benchmark, tr.Meta.Scale, tr.Meta.Schema)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i, lt := range tr.Launches {
+		gpu, err := warped.NewGPU(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res, err := gpu.ReplayContextBeat(ctx, lt, nil)
+		if err != nil {
+			fatal("replay launch %d: %v", i+1, err)
+		}
+		switch {
+		case jsonOut:
+			if err := enc.Encode(res); err != nil {
+				fatal("%v", err)
+			}
+		default:
+			if len(tr.Launches) > 1 {
+				fmt.Printf("-- launch %d/%d --\n", i+1, len(tr.Launches))
+			}
+			printSummary(res)
+		}
+	}
 }
 
 func printSummary(res *warped.Result) {

@@ -1,0 +1,43 @@
+package exectrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRead hammers the warped.trace/v1 reader with arbitrary bytes:
+// it must never panic or over-allocate, and anything it accepts must
+// re-serialize canonically (write → read → write is a fixed point).
+func FuzzTraceRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixtureTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(Schema + "\n{\"schema\":\"warped.trace/v1\",\"launches\":1}\n\xff\xff\xff\xff"))
+	f.Add([]byte("not a trace"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		back, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized trace failed to decode: %v", err)
+		}
+		var again bytes.Buffer
+		if err := Write(&again, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatalf("serialization is not canonical: %d vs %d bytes", out.Len(), again.Len())
+		}
+	})
+}

@@ -120,6 +120,16 @@ type engine struct {
 	mu    sync.Mutex
 	calls map[string]*call
 
+	// Record/replay split (see recordreplay.go): when enabled, the first job
+	// per benchmark runs the functional front-end once in record mode and
+	// every other configuration replays the captured trace. traces is the
+	// per-benchmark single-flight cache, bounded by traceBudget bytes (LRU).
+	recordReplay bool
+	traceBudget  int64
+	traceMu      sync.Mutex
+	traces       map[string]*traceEntry
+	traceClock   int64
+
 	progressMu sync.Mutex
 	progress   ProgressFunc
 }
@@ -136,10 +146,19 @@ func newEngine(ctx context.Context, parallelism int, scale kernels.Scale, progre
 		backoff:     100 * time.Millisecond,
 		memoize:     true,
 		calls:       make(map[string]*call),
+		traceBudget: defaultTraceBudget,
+		traces:      make(map[string]*traceEntry),
 		progress:    progress,
 	}
 	e.runJob = e.runSim
 	return e
+}
+
+// enableRecordReplay switches the engine's job path to the execute-once /
+// replay-N strategy. Must be called before any job is scheduled.
+func (e *engine) enableRecordReplay() {
+	e.recordReplay = true
+	e.runJob = e.runSimRR
 }
 
 func (e *engine) emit(ev Event) {
@@ -177,7 +196,9 @@ func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	e.calls[key] = cl
 	e.mu.Unlock()
 
-	cl.res, cl.err = e.simulate(b, c, cfgSig)
+	cl.res, cl.err = e.simulate(b.Name, cfgSig, func(ctx context.Context, beat *atomic.Uint64) (*sim.Result, error) {
+		return e.runJob(ctx, b, c, beat)
+	})
 	if !e.memoize {
 		// Evict before closing done: once waiters are released the key is
 		// already gone, so a late requester starts a fresh simulation
@@ -190,14 +211,18 @@ func (e *engine) run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	return cl.res, cl.err
 }
 
+// jobFunc is one schedulable unit of simulation work: execute, record or
+// replay. The engine's slot/retry/watchdog machinery is agnostic to which.
+type jobFunc func(ctx context.Context, beat *atomic.Uint64) (*sim.Result, error)
+
 // simulate executes one job inside a worker slot, retrying transient
 // failures up to the engine's retry budget with exponential backoff. Any
 // failure is wrapped in a *JobError carrying the job's identity.
-func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*sim.Result, error) {
+func (e *engine) simulate(name, cfgSig string, job jobFunc) (*sim.Result, error) {
 	select {
 	case e.slots <- struct{}{}:
 	case <-e.ctx.Done():
-		return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
+		return nil, fmt.Errorf("experiments: %s: %w", name, e.ctx.Err())
 	}
 	defer func() { <-e.slots }()
 
@@ -205,12 +230,12 @@ func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*s
 	var err error
 	attempt := 0
 	for ; ; attempt++ {
-		e.emit(Event{Kind: EventJobStart, Benchmark: b.Name, Config: cfgSig, Attempt: attempt})
+		e.emit(Event{Kind: EventJobStart, Benchmark: name, Config: cfgSig, Attempt: attempt})
 		start := time.Now()
-		res, err = e.attempt(b, c)
+		res, err = e.attempt(job)
 		e.emit(Event{
 			Kind:      EventJobDone,
-			Benchmark: b.Name,
+			Benchmark: name,
 			Config:    cfgSig,
 			Attempt:   attempt,
 			Cycles:    cycles(res),
@@ -220,16 +245,16 @@ func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*s
 		if err == nil || attempt >= e.retries || !IsTransient(err) || e.ctx.Err() != nil {
 			break
 		}
-		e.emit(Event{Kind: EventJobRetry, Benchmark: b.Name, Config: cfgSig, Attempt: attempt, Err: err})
+		e.emit(Event{Kind: EventJobRetry, Benchmark: name, Config: cfgSig, Attempt: attempt, Err: err})
 		delay := e.backoff << attempt
 		select {
 		case <-time.After(delay):
 		case <-e.ctx.Done():
-			return nil, fmt.Errorf("experiments: %s: %w", b.Name, e.ctx.Err())
+			return nil, fmt.Errorf("experiments: %s: %w", name, e.ctx.Err())
 		}
 	}
 	if err != nil {
-		err = &JobError{Benchmark: b.Name, Config: cfgSig, Attempts: attempt + 1, Err: err}
+		err = &JobError{Benchmark: name, Config: cfgSig, Attempts: attempt + 1, Err: err}
 	}
 	return res, err
 }
@@ -238,7 +263,7 @@ func (e *engine) simulate(b *kernels.Benchmark, c sim.Config, cfgSig string) (*s
 // goroutine so a panic is recovered into a *PanicError, and — when the
 // watchdog is armed — a monitor cancels the attempt if the simulation's
 // instruction heartbeat stops advancing for a full deadline window.
-func (e *engine) attempt(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
+func (e *engine) attempt(job jobFunc) (*sim.Result, error) {
 	ctx := e.ctx
 	cancel := context.CancelFunc(func() {})
 	if e.watchdog > 0 {
@@ -256,7 +281,7 @@ func (e *engine) attempt(b *kernels.Benchmark, c sim.Config) (*sim.Result, error
 				done <- outcome{nil, &PanicError{Value: v, Stack: debug.Stack()}}
 			}
 		}()
-		res, err := e.runJob(ctx, b, c, beat)
+		res, err := job(ctx, beat)
 		done <- outcome{res, err}
 	}()
 

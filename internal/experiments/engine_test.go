@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/kernels"
-	"repro/internal/sim"
 )
 
 // mustNew builds a Runner or fails the test (the valid-config happy path).
@@ -22,16 +21,9 @@ func mustNew(t *testing.T, ctx context.Context, opts ...Option) *Runner {
 	return r
 }
 
-// fastNewOpts mirrors fastOpts for the context-first constructor.
+// fastNewOpts is fastOpts plus extras.
 func fastNewOpts(extra ...Option) []Option {
-	base := sim.DefaultConfig()
-	base.NumSMs = 4
-	opts := []Option{
-		WithScale(kernels.Small),
-		WithBenchmarks("bfs", "lib", "pathfinder"),
-		WithBaseConfig(base),
-	}
-	return append(opts, extra...)
+	return append(fastOpts(), extra...)
 }
 
 // renderAll regenerates every exhibit and renders each to text,
@@ -60,6 +52,24 @@ func TestParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("parallel output differs from sequential output:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
 	if len(seq) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+// TestRecordReplayMatchesExecute is the sweep-level replay oracle: the
+// whole exhibit set rendered through the record/replay fast path (the
+// default) must be byte-identical to a run forced through full execute
+// mode — every benchmark, every configuration, at both parallelism
+// extremes.
+func TestRecordReplayMatchesExecute(t *testing.T) {
+	exec := renderAll(t, mustNew(t, context.Background(), fastNewOpts(WithRecordReplay(false), WithParallelism(8))...))
+	for _, par := range []int{1, 8} {
+		rr := renderAll(t, mustNew(t, context.Background(), fastNewOpts(WithParallelism(par))...))
+		if rr != exec {
+			t.Fatalf("record/replay output at parallelism %d differs from execute mode:\n--- execute ---\n%s\n--- record/replay ---\n%s", par, exec, rr)
+		}
+	}
+	if len(exec) == 0 {
 		t.Fatal("empty output")
 	}
 }
@@ -217,33 +227,6 @@ func TestEventKindString(t *testing.T) {
 		if got := kind.String(); got != want {
 			t.Fatalf("EventKind(%d).String() = %q, want %q", int(kind), got, want)
 		}
-	}
-}
-
-// TestDeprecatedShim keeps the legacy constructor alive: Options/NewRunner
-// must behave exactly like the old sequential runner.
-func TestDeprecatedShim(t *testing.T) {
-	base := sim.DefaultConfig()
-	base.NumSMs = 4
-	var log strings.Builder
-	r := NewRunner(Options{
-		Scale:      kernels.Small,
-		Benchmarks: []string{"bfs", "lib", "pathfinder"},
-		Base:       &base,
-		Progress:   &log,
-	})
-	if r.Parallelism() != 1 {
-		t.Fatalf("legacy runner parallelism %d, want 1", r.Parallelism())
-	}
-	tab, err := r.Run("fig3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != 4 { // 3 benchmarks + AVG
-		t.Fatalf("%d rows, want 4", len(tab.Rows))
-	}
-	if got := strings.Count(log.String(), "ran "); got != 3 {
-		t.Fatalf("%d progress lines, want 3:\n%s", got, log.String())
 	}
 }
 

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/exectrace"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 )
@@ -33,6 +35,13 @@ type EngineConfig struct {
 	// but completed results are dropped and retention becomes the caller's
 	// policy (internal/jobs layers a bounded LRU on top).
 	Memoize bool
+	// RecordReplay switches Run to the execute-once / replay-N strategy:
+	// the first job per benchmark records its functional execution and
+	// every other configuration replays the captured warped.trace/v1
+	// launch. Results are byte-identical to execute mode. Off by default
+	// for standalone engines — the serving layer drives record and replay
+	// explicitly through the Record and Replay methods instead.
+	RecordReplay bool
 }
 
 // Engine is the exported simulation execution core the experiment Runner
@@ -65,6 +74,9 @@ func NewEngine(ctx context.Context, cfg EngineConfig) *Engine {
 		eng.watchdog = cfg.Watchdog
 	}
 	eng.memoize = cfg.Memoize
+	if cfg.RecordReplay {
+		eng.enableRecordReplay()
+	}
 	return &Engine{eng: eng}
 }
 
@@ -76,6 +88,34 @@ func NewEngine(ctx context.Context, cfg EngineConfig) *Engine {
 // alongside the error (fault campaigns need the counters of wrong runs).
 func (e *Engine) Run(b *kernels.Benchmark, c sim.Config) (*sim.Result, error) {
 	return e.eng.run(b, c)
+}
+
+// Record simulates benchmark b under configuration c in record mode inside
+// a worker slot: a normal execute-mode run whose functional front-end is
+// teed into a warped.trace/v1 launch. The Result is byte-identical to what
+// Run would produce. Record bypasses the result memo cache (callers that
+// record manage their own trace retention) but shares the engine's worker
+// slots, retry budget, panic isolation and stall watchdog. A launch whose
+// value stream is schedule-dependent fails with sim.ErrUntraceable.
+func (e *Engine) Record(b *kernels.Benchmark, c sim.Config) (*sim.Result, *exectrace.Launch, error) {
+	var lt *exectrace.Launch
+	res, err := e.eng.simulate(b.Name, sig(&c), func(ctx context.Context, beat *atomic.Uint64) (*sim.Result, error) {
+		r, l, err := e.eng.recordSim(ctx, b, c, beat)
+		lt = l
+		return r, err
+	})
+	return res, lt, err
+}
+
+// Replay drives the timing back-end under configuration c from a recorded
+// launch, inside a worker slot with the engine's full job machinery. The
+// benchmark name is used only for events and errors: the trace is
+// self-contained, so no benchmark build (and no output check) happens. The
+// Result is byte-identical to executing the same benchmark under c.
+func (e *Engine) Replay(benchmark string, lt *exectrace.Launch, c sim.Config) (*sim.Result, error) {
+	return e.eng.simulate(benchmark, sig(&c), func(ctx context.Context, beat *atomic.Uint64) (*sim.Result, error) {
+		return e.eng.replaySim(ctx, benchmark, c, lt, beat)
+	})
 }
 
 // Parallelism reports the engine's worker-slot count.

@@ -22,8 +22,9 @@ func engineTestConfig() sim.Config {
 }
 
 // apiGate holds the zz-gate benchmark's Build hostage until the
-// single-flight test has lined up its concurrent requesters. Closed once
-// by that test; later Builds pass straight through.
+// single-flight test has lined up its concurrent requesters. The test
+// re-makes it on entry and closes it once per run (so -count=N works);
+// Builds after the close pass straight through.
 var apiGate = make(chan struct{})
 
 func init() {
@@ -50,6 +51,7 @@ func init() {
 // but a later sequential run of the same key simulates again — the
 // completed entry is evicted, retention is the caller's job.
 func TestEngineSingleFlightWithoutMemo(t *testing.T) {
+	apiGate = make(chan struct{})
 	var starts, hits atomic.Int64
 	firstStart := make(chan struct{})
 	var once sync.Once

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -11,14 +12,20 @@ import (
 
 // fastOpts runs three representative benchmarks (uniform, divergent,
 // best-case) at small scale on a shrunken GPU.
-func fastOpts() Options {
+func fastOpts() []Option {
 	base := sim.DefaultConfig()
 	base.NumSMs = 4
-	return Options{
-		Scale:      kernels.Small,
-		Benchmarks: []string{"bfs", "lib", "pathfinder"},
-		Base:       &base,
+	return []Option{
+		WithScale(kernels.Small),
+		WithBenchmarks("bfs", "lib", "pathfinder"),
+		WithBaseConfig(base),
 	}
+}
+
+// fastRunner builds a Runner from fastOpts plus any extras.
+func fastRunner(t *testing.T, extra ...Option) *Runner {
+	t.Helper()
+	return mustNew(t, context.Background(), append(fastOpts(), extra...)...)
 }
 
 func TestIDsCoverEveryPaperExhibit(t *testing.T) {
@@ -45,7 +52,7 @@ func TestIDsCoverEveryPaperExhibit(t *testing.T) {
 }
 
 func TestStaticTables(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	t1, err := r.Run("table1")
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +80,7 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestCharacterizationFigures(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	f2, err := r.Run("fig2")
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +130,7 @@ func TestCharacterizationFigures(t *testing.T) {
 }
 
 func TestHeadlineFigures(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	f8, err := r.Run("fig8")
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +168,7 @@ func TestHeadlineFigures(t *testing.T) {
 }
 
 func TestDesignSpaceFigures(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	f15, err := r.Run("fig15")
 	if err != nil {
 		t.Fatal(err)
@@ -201,16 +208,14 @@ func TestDesignSpaceFigures(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	if _, err := r.Run("fig99"); err == nil {
 		t.Fatal("unknown exhibit accepted")
 	}
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	o := fastOpts()
-	o.Benchmarks = []string{"nope"}
-	r := NewRunner(o)
+	r := fastRunner(t, WithBenchmarks("nope"))
 	if _, err := r.Run("fig3"); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
@@ -218,9 +223,7 @@ func TestUnknownBenchmark(t *testing.T) {
 
 func TestMemoization(t *testing.T) {
 	var log strings.Builder
-	o := fastOpts()
-	o.Progress = &log
-	r := NewRunner(o)
+	r := fastRunner(t, WithProgressWriter(&log))
 	if _, err := r.Run("fig8"); err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +276,10 @@ func TestTableRenderCSV(t *testing.T) {
 func TestAllExhibitsRunAndRender(t *testing.T) {
 	base := sim.DefaultConfig()
 	base.NumSMs = 4
-	r := NewRunner(Options{
-		Scale:      kernels.Small,
-		Benchmarks: []string{"bfs", "lib"},
-		Base:       &base,
-	})
+	r := mustNew(t, context.Background(),
+		WithScale(kernels.Small),
+		WithBenchmarks("bfs", "lib"),
+		WithBaseConfig(base))
 	tables, err := r.RunAll()
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +308,7 @@ func TestAllExhibitsRunAndRender(t *testing.T) {
 // gating-off energy is never lower than gating-on, and the 1-compressor
 // configuration is never faster than the default.
 func TestAblationSanity(t *testing.T) {
-	r := NewRunner(fastOpts())
+	r := fastRunner(t)
 	g, err := r.Run("abl2-gating")
 	if err != nil {
 		t.Fatal(err)

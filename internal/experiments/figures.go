@@ -10,7 +10,7 @@ import (
 	"repro/internal/regfile"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/internal/valueprof"
 )
 
 // Table1 regenerates paper Table 1: the compressed size and register bank
@@ -135,7 +135,7 @@ func (r *Runner) Fig3() (*Table, error) {
 func (r *Runner) Fig5() (*Table, error) {
 	cols := make([]string, stats.NumExplorerChoices)
 	for i := range cols {
-		cols[i] = trace.ChoiceName(i)
+		cols[i] = valueprof.ChoiceName(i)
 	}
 	t := &Table{
 		ID:      "fig5",

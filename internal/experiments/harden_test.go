@@ -384,17 +384,4 @@ func TestNewValidatesBaseConfig(t *testing.T) {
 	if ce.Field != "NumSMs" {
 		t.Fatalf("ConfigError.Field = %q", ce.Field)
 	}
-
-	// The deprecated shim cannot return an error; it must surface the same
-	// failure from the first method call instead of panicking or running.
-	r := NewRunner(Options{Base: &bad})
-	if _, err := r.Run("fig8"); !errors.As(err, &ce) {
-		t.Fatalf("legacy runner err = %v, want *sim.ConfigError", err)
-	}
-	if _, err := r.RunAll(); err == nil {
-		t.Fatal("legacy runner RunAll accepted invalid base config")
-	}
-	if _, err := r.RunPartial(); err == nil {
-		t.Fatal("legacy runner RunPartial accepted invalid base config")
-	}
 }

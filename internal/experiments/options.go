@@ -20,6 +20,7 @@ type config struct {
 	retries     int
 	backoff     time.Duration
 	watchdog    time.Duration
+	executeOnly bool // disable the record/replay fast path
 }
 
 // Option configures a Runner built with New.
@@ -105,6 +106,17 @@ func WithWatchdog(d time.Duration) Option {
 	}
 }
 
+// WithRecordReplay toggles the execute-once / replay-N strategy (default
+// on): the first simulation of each benchmark records its functional
+// execution as a warped.trace/v1 launch, and every other configuration
+// replays that trace into the timing back-end — byte-identical results at a
+// fraction of the cost. Disabling it forces every job through full execute
+// mode; fault-injection configurations and untraceable launches fall back
+// to execute automatically either way.
+func WithRecordReplay(on bool) Option {
+	return func(c *config) { c.executeOnly = !on }
+}
+
 // WithBaseConfig overrides the hardware configuration the experiment
 // configurations are derived from (default sim.DefaultConfig). Compression
 // mode, gating, scheduler, latencies and characterization are overridden
@@ -129,18 +141,6 @@ func WithBaseConfig(base sim.Config) Option {
 //	    experiments.WithProgress(func(ev experiments.Event) { ... }))
 //	tables, err := r.RunAll()
 func New(ctx context.Context, opts ...Option) (*Runner, error) {
-	r := build(ctx, opts...)
-	if r.initErr != nil {
-		return nil, r.initErr
-	}
-	return r, nil
-}
-
-// build assembles a Runner without rejecting an invalid base configuration:
-// New surfaces the validation error immediately, while the deprecated
-// NewRunner (whose signature cannot return one) stores it and lets every
-// public method report it.
-func build(ctx context.Context, opts ...Option) *Runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -154,46 +154,13 @@ func build(ctx context.Context, opts ...Option) *Runner {
 		eng.backoff = c.backoff
 	}
 	eng.watchdog = c.watchdog
+	if !c.executeOnly {
+		eng.enableRecordReplay()
+	}
 	r := &Runner{cfg: c, eng: eng}
 	base := r.baseConfig()
 	if err := base.Validate(); err != nil {
-		r.initErr = fmt.Errorf("experiments: invalid base config: %w", err)
+		return nil, fmt.Errorf("experiments: invalid base config: %w", err)
 	}
-	return r
-}
-
-// Options selects what the legacy runner simulates.
-//
-// Deprecated: Options exists only so pre-engine callers keep compiling.
-// Use New with functional options instead.
-type Options struct {
-	// Scale is the workload size (default Medium, the figure-quality size).
-	Scale kernels.Scale
-	// Benchmarks restricts the suite; nil means all.
-	Benchmarks []string
-	// Progress, when non-nil, receives one line per simulation run.
-	Progress io.Writer
-	// Base overrides the hardware configuration the experiment configs are
-	// derived from (zero value means sim.DefaultConfig).
-	Base *sim.Config
-}
-
-// NewRunner builds a Runner from legacy Options. It preserves the old
-// sequential behaviour exactly (parallelism 1, deterministic progress-line
-// order) and never cancels. An invalid Base config is reported by the first
-// method call instead of here (the old signature has no error to return).
-//
-// Deprecated: use New with functional options.
-func NewRunner(opts Options) *Runner {
-	o := []Option{WithScale(opts.Scale), WithParallelism(1)}
-	if opts.Benchmarks != nil {
-		o = append(o, WithBenchmarks(opts.Benchmarks...))
-	}
-	if opts.Progress != nil {
-		o = append(o, WithProgressWriter(opts.Progress))
-	}
-	if opts.Base != nil {
-		o = append(o, WithBaseConfig(*opts.Base))
-	}
-	return build(context.Background(), o...)
+	return r, nil
 }

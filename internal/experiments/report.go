@@ -124,9 +124,6 @@ func (s *failureSink) failures() []JobFailure {
 // err is reserved for structural problems (unknown exhibit id, invalid
 // runner). The report is deterministic at every parallelism level.
 func (r *Runner) RunPartial(ids ...string) (*Report, error) {
-	if r.initErr != nil {
-		return nil, r.initErr
-	}
 	run := exhibits
 	if len(ids) > 0 {
 		run = nil

@@ -12,12 +12,10 @@ import (
 // Runner executes benchmarks under experiment configurations on the
 // parallel engine, memoizing results so shared configurations (e.g. the
 // default warped-compression run used by Figs 8-13) simulate only once —
-// even when several exhibits request them concurrently. Build one with New
-// (or the deprecated NewRunner shim).
+// even when several exhibits request them concurrently. Build one with New.
 type Runner struct {
-	cfg     config
-	eng     *engine
-	initErr error // invalid base config, reported by every public method
+	cfg config
+	eng *engine
 
 	// failures, when non-nil, switches forEach into partial mode: job
 	// failures are recorded here and the failing benchmarks skipped,
@@ -224,9 +222,6 @@ func Title(id string) (string, bool) {
 
 // Run regenerates one exhibit by id ("fig9", "table1", ...).
 func (r *Runner) Run(id string) (*Table, error) {
-	if r.initErr != nil {
-		return nil, r.initErr
-	}
 	for _, e := range exhibits {
 		if e.id == id {
 			return e.run(r)
@@ -241,9 +236,6 @@ func (r *Runner) Run(id string) (*Table, error) {
 // benchmark name, deterministic across parallelism levels) aborts the run;
 // use RunPartial to keep going and collect what succeeded.
 func (r *Runner) RunAll() ([]*Table, error) {
-	if r.initErr != nil {
-		return nil, r.initErr
-	}
 	// Warm the cache with the two configurations nearly every exhibit
 	// shares, so the first exhibits already run at full width.
 	r.prefetch(r.cfgBaseline(), r.cfgWarped())

@@ -3,8 +3,13 @@
 // the exported experiments engine (single-flight dedup, retries, panic
 // isolation, stall watchdog), and a bounded LRU result cache keyed by the
 // same config signature as the engine — one identity, so the two caches
-// can never drift. internal/server exposes it over HTTP; see DESIGN.md §13
-// for the backpressure policy.
+// can never drift. Jobs run in one of three modes: execute (the classic
+// full simulation), record (execute plus capture of the functional
+// front-end as a warped.trace/v1 launch, retained in a bounded trace store
+// under a ref), and replay (drive the timing back-end from a stored
+// recording — byte-identical results without re-executing the front-end).
+// internal/server exposes it over HTTP; see DESIGN.md §13 for the
+// backpressure policy and §15 for the record/replay split.
 package jobs
 
 import (
@@ -15,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exectrace"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -66,6 +72,10 @@ type Event struct {
 	Cycles    uint64 `json:"cycles,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// TraceRef names the stored trace on a record job's terminal "done"
+	// event, so a streaming client learns the ref without re-fetching the
+	// job view.
+	TraceRef string `json:"trace_ref,omitempty"`
 }
 
 // Job is one submitted simulation. All mutable state is behind mu; the
@@ -75,10 +85,12 @@ type Job struct {
 	Benchmark string
 	Signature string // experiments.ConfigSignature of the submitted config
 	Config    sim.Config
+	Mode      Mode
 
 	mu       sync.Mutex
 	state    State
 	cached   bool
+	traceRef string // replay: the input ref; record: set once the trace is stored
 	result   *sim.Result
 	err      error
 	created  time.Time
@@ -88,12 +100,16 @@ type Job struct {
 	subs     map[chan Event]struct{}
 }
 
-// JobView is the JSON representation of a job's current state.
+// JobView is the JSON representation of a job's current state. Mode and
+// TraceRef are additive (omitted when empty), so pre-trace clients see the
+// exact payload they always did.
 type JobView struct {
 	ID        string      `json:"id"`
 	Benchmark string      `json:"benchmark"`
 	Signature string      `json:"signature"`
 	State     State       `json:"state"`
+	Mode      Mode        `json:"mode,omitempty"`
+	TraceRef  string      `json:"trace_ref,omitempty"`
 	Cached    bool        `json:"cached,omitempty"`
 	Created   time.Time   `json:"created"`
 	Started   *time.Time  `json:"started,omitempty"`
@@ -111,9 +127,15 @@ func (j *Job) View() JobView {
 		Benchmark: j.Benchmark,
 		Signature: j.Signature,
 		State:     j.state,
+		TraceRef:  j.traceRef,
 		Cached:    j.cached,
 		Created:   j.created,
 		Result:    j.result,
+	}
+	if j.Mode != ModeExecute {
+		// Execute is the default; omitting it keeps the payload identical
+		// to what pre-trace clients have always received.
+		v.Mode = j.Mode
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -143,6 +165,23 @@ func (j *Job) Result() (*sim.Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.err
+}
+
+// TraceRef returns the job's trace reference: the input ref of a replay
+// job, or — once the job is done — the ref a record job's trace was stored
+// under ("" otherwise).
+func (j *Job) TraceRef() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceRef
+}
+
+// setTraceRef publishes a record job's stored-trace ref; it must be set
+// before finish so the terminal event and every later view carry it.
+func (j *Job) setTraceRef(ref string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.traceRef = ref
 }
 
 // Subscribe returns the job's event history so far and, when the job is
@@ -254,6 +293,9 @@ func (j *Job) finish(res *sim.Result, err error) {
 	if res != nil {
 		ev.Cycles = res.Cycles
 	}
+	if j.state == StateDone && j.Mode == ModeRecord {
+		ev.TraceRef = j.traceRef
+	}
 	j.appendLocked(ev)
 	for c := range j.subs {
 		delete(j.subs, c)
@@ -276,6 +318,11 @@ type Config struct {
 	// RetainJobs bounds how many finished jobs stay queryable; the oldest
 	// finished jobs are forgotten beyond it. <= 0 means 1024.
 	RetainJobs int
+	// TraceStore bounds how many recorded warped.trace/v1 launches stay
+	// resident for replay; the oldest recording is evicted beyond it, and
+	// replays referencing an evicted ref fail at submission with
+	// *UnknownTraceError. <= 0 means 16.
+	TraceStore int
 	// Scale is the workload size benchmarks are built at (default Small).
 	Scale kernels.Scale
 	// Retries, RetryBackoff and Watchdog configure the engine's
@@ -305,6 +352,10 @@ type Stats struct {
 	CacheEvictions uint64 // results dropped by LRU capacity pressure
 	CacheEntries   int
 
+	TracesRecorded uint64 // traces captured by record jobs over the process lifetime
+	TraceEvictions uint64 // recordings dropped by trace-store capacity pressure
+	TraceEntries   int    // recordings currently resident and replayable
+
 	SimCycles uint64 // total simulated cycles across completed runs
 
 	Queued        int // jobs waiting in the FIFO
@@ -314,11 +365,14 @@ type Stats struct {
 	Draining      bool
 }
 
-// task is one queue entry: the job plus everything a worker needs to run it.
+// task is one queue entry: the job plus everything a worker needs to run
+// it. launch is the resolved trace of a replay job (resolution happens at
+// submission, so a worker never discovers a dangling ref).
 type task struct {
-	job   *Job
-	bench *kernels.Benchmark
-	cfg   sim.Config
+	job    *Job
+	bench  *kernels.Benchmark
+	cfg    sim.Config
+	launch *exectrace.Launch
 }
 
 // Manager owns the queue, the worker pool, the engine and the result
@@ -342,6 +396,7 @@ type Manager struct {
 	finished []string          // finished job IDs, oldest first (retention ring)
 	byKey    map[string][]*Job // running jobs by sim key, for event fanout
 	cache    *lru
+	traces   *traceStore
 	nextID   uint64
 
 	submitted, completed, failed      uint64
@@ -369,6 +424,9 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 1024
 	}
+	if cfg.TraceStore <= 0 {
+		cfg.TraceStore = 16
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	m := &Manager{
 		cfg:    cfg,
@@ -377,6 +435,7 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 		jobs:   make(map[string]*Job),
 		byKey:  make(map[string][]*Job),
 		cache:  newLRU(cfg.CacheSize),
+		traces: newTraceStore(cfg.TraceStore),
 	}
 	m.eng = experiments.NewEngine(ctx, experiments.EngineConfig{
 		Parallelism:  cfg.Workers,
@@ -399,21 +458,58 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 // key is the shared cache/single-flight identity of a submission.
 func key(benchmark, signature string) string { return benchmark + "|" + signature }
 
-// Submit validates and admits one simulation job. It returns the job
+// Request is one job submission: a benchmark and configuration, plus the
+// optional trace-mode fields. Mode "" (and "execute") is the classic full
+// simulation; "record" additionally captures the functional execution as a
+// warped.trace/v1 launch and stores it under a ref; "replay" drives the
+// timing back-end from a previously recorded ref — byte-identical results
+// without re-executing the front-end. Replay may leave Benchmark empty
+// (the trace is self-contained and remembers it); a non-empty Benchmark
+// must match the recording.
+type Request struct {
+	Benchmark string
+	Config    sim.Config
+	Mode      Mode
+	TraceRef  string // replay input ref; must be empty in every other mode
+}
+
+// Submit validates and admits one execute-mode simulation job. It is
+// SubmitRequest with the classic two-argument signature.
+func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
+	return m.SubmitRequest(Request{Benchmark: benchmark, Config: cfg})
+}
+
+// SubmitRequest validates and admits one job. It returns the job
 // immediately: completed (cache hit), or queued for the worker pool.
 // Admission failures: ErrDraining once a drain has begun, ErrQueueFull
-// when the FIFO is at capacity, *UnknownBenchmarkError / config validation
-// errors for bad requests.
-func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
-	b, ok := kernels.ByName(benchmark)
-	if !ok {
-		return nil, &UnknownBenchmarkError{Name: benchmark}
+// when the FIFO is at capacity, *UnknownBenchmarkError / *UnknownModeError
+// / *UnknownTraceError / config validation errors for bad requests.
+func (m *Manager) SubmitRequest(req Request) (*Job, error) {
+	mode, err := parseMode(string(req.Mode))
+	if err != nil {
+		return nil, err
 	}
+	if req.TraceRef != "" && mode != ModeReplay {
+		return nil, fmt.Errorf("jobs: trace_ref is only valid with mode \"replay\" (got mode %q)", mode)
+	}
+	if mode == ModeReplay && req.TraceRef == "" {
+		return nil, fmt.Errorf("jobs: mode \"replay\" requires a trace_ref (record one first)")
+	}
+	if mode != ModeExecute && req.Config.Faults.Enabled() {
+		return nil, &sim.ConfigError{Field: "Faults", Reason: "fault injection corrupts functional state at commit time; record and replay require a fault-free functional front-end"}
+	}
+	var b *kernels.Benchmark
+	benchmark := req.Benchmark
+	if mode != ModeReplay {
+		var ok bool
+		if b, ok = kernels.ByName(benchmark); !ok {
+			return nil, &UnknownBenchmarkError{Name: benchmark}
+		}
+	}
+	cfg := req.Config
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	signature := experiments.ConfigSignature(&cfg)
-	k := key(benchmark, signature)
 
 	m.mu.Lock()
 	if m.draining {
@@ -421,26 +517,47 @@ func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if res, hit := m.cache.get(k); hit {
-		m.cacheHits++
-		job := m.newJobLocked(benchmark, signature, cfg)
-		job.state = StateDone
-		job.cached = true
-		job.result = res
-		job.finished = job.created
-		job.events = []Event{{Kind: "cache-hit", Cycles: res.Cycles}}
-		m.jobs[job.ID] = job
-		m.retainLocked(job)
-		m.mu.Unlock()
-		return job, nil
+	var launch *exectrace.Launch
+	if mode == ModeReplay {
+		st, ok := m.traces.get(req.TraceRef)
+		if !ok {
+			m.mu.Unlock()
+			return nil, &UnknownTraceError{Ref: req.TraceRef}
+		}
+		if benchmark != "" && benchmark != st.benchmark {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("jobs: trace %s records benchmark %q, not %q", req.TraceRef, st.benchmark, benchmark)
+		}
+		benchmark = st.benchmark
+		launch = st.launch
 	}
-	m.cacheMisses++
-	job := m.newJobLocked(benchmark, signature, cfg)
+	signature := experiments.ConfigSignature(&cfg)
+	k := key(benchmark, signature)
+	// Record jobs exist to capture a trace, so a cached result must not
+	// short-circuit them; execute and replay jobs produce byte-identical
+	// results by contract and share the cache freely.
+	if mode != ModeRecord {
+		if res, hit := m.cache.get(k); hit {
+			m.cacheHits++
+			job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
+			job.state = StateDone
+			job.cached = true
+			job.result = res
+			job.finished = job.created
+			job.events = []Event{{Kind: "cache-hit", Cycles: res.Cycles}}
+			m.jobs[job.ID] = job
+			m.retainLocked(job)
+			m.mu.Unlock()
+			return job, nil
+		}
+		m.cacheMisses++
+	}
+	job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
 	job.state = StateQueued
 	job.events = []Event{{Kind: "queued"}}
 	m.pending.Add(1)
 	select {
-	case m.queue <- task{job: job, bench: b, cfg: cfg}:
+	case m.queue <- task{job: job, bench: b, cfg: cfg, launch: launch}:
 		m.submitted++
 		m.queued++
 		m.jobs[job.ID] = job
@@ -457,13 +574,15 @@ func (m *Manager) Submit(benchmark string, cfg sim.Config) (*Job, error) {
 // newJobLocked allocates a job (caller holds m.mu for the ID counter).
 // The caller finishes initializing it and registers it in m.jobs — in that
 // order, so a concurrently held m.mu snapshot never sees a half-built job.
-func (m *Manager) newJobLocked(benchmark, signature string, cfg sim.Config) *Job {
+func (m *Manager) newJobLocked(benchmark, signature string, cfg sim.Config, mode Mode, traceRef string) *Job {
 	m.nextID++
 	return &Job{
 		ID:        fmt.Sprintf("job-%06d", m.nextID),
 		Benchmark: benchmark,
 		Signature: signature,
 		Config:    cfg,
+		Mode:      mode,
+		traceRef:  traceRef,
 		created:   time.Now(),
 		subs:      make(map[chan Event]struct{}),
 	}
@@ -528,9 +647,24 @@ func (m *Manager) runJob(t task) {
 	m.mu.Unlock()
 	t.job.setRunning()
 
-	res, err := m.eng.Run(t.bench, t.cfg)
+	var (
+		res *sim.Result
+		lt  *exectrace.Launch
+		err error
+	)
+	switch t.job.Mode {
+	case ModeRecord:
+		res, lt, err = m.eng.Record(t.bench, t.cfg)
+	case ModeReplay:
+		res, err = m.eng.Replay(t.job.Benchmark, t.launch, t.cfg)
+	default:
+		res, err = m.eng.Run(t.bench, t.cfg)
+	}
 
 	m.mu.Lock()
+	if err == nil && lt != nil {
+		t.job.setTraceRef(m.traces.add(t.job.Benchmark, lt))
+	}
 	m.running--
 	peers := m.byKey[k]
 	for i, j := range peers {
@@ -683,6 +817,9 @@ func (m *Manager) Stats() Stats {
 		CacheMisses:      m.cacheMisses,
 		CacheEvictions:   m.cache.evictions,
 		CacheEntries:     m.cache.len(),
+		TracesRecorded:   m.traces.stored,
+		TraceEvictions:   m.traces.evictions,
+		TraceEntries:     m.traces.len(),
 		SimCycles:        m.simCycles,
 		Queued:           m.queued,
 		Running:          m.running,

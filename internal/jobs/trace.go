@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"fmt"
+
+	"repro/internal/exectrace"
+)
+
+// Mode selects how a submitted job drives the simulator: full execution
+// (the default), execute-plus-trace-capture, or timing replay of a
+// previously captured trace. The zero value means execute; anything else
+// is rejected at submission with *UnknownModeError — unknown modes never
+// silently degrade to execution.
+type Mode string
+
+const (
+	ModeExecute Mode = "execute"
+	ModeRecord  Mode = "record"
+	ModeReplay  Mode = "replay"
+)
+
+// parseMode maps the wire-level mode string onto a Mode, treating the
+// empty string as execute for backward compatibility with pre-trace
+// clients.
+func parseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeExecute:
+		return ModeExecute, nil
+	case ModeRecord:
+		return ModeRecord, nil
+	case ModeReplay:
+		return ModeReplay, nil
+	}
+	return "", &UnknownModeError{Mode: s}
+}
+
+// UnknownModeError rejects a submission naming a mode this server does not
+// implement. The server maps it to HTTP 400.
+type UnknownModeError struct{ Mode string }
+
+func (e *UnknownModeError) Error() string {
+	return fmt.Sprintf("jobs: unknown mode %q (have execute, record, replay)", e.Mode)
+}
+
+// UnknownTraceError rejects a replay submission referencing a trace the
+// store does not hold — never recorded, or already evicted by capacity
+// pressure. Resolution is strict and happens at submission, so a client
+// learns immediately (HTTP 400) rather than after queueing.
+type UnknownTraceError struct{ Ref string }
+
+func (e *UnknownTraceError) Error() string {
+	return fmt.Sprintf("jobs: unknown trace %q (recorded refs expire oldest-first; re-record)", e.Ref)
+}
+
+// storedTrace is one retained recording: the launch trace plus the
+// benchmark it was recorded from, checked at replay submission so a trace
+// can never be replayed under the wrong benchmark's label.
+type storedTrace struct {
+	ref       string
+	benchmark string
+	launch    *exectrace.Launch
+}
+
+// traceStore retains recorded traces under monotonic refs ("trace-000001"),
+// bounded by entry count with oldest-first eviction. It is not safe for
+// concurrent use; the Manager serializes access under its mutex.
+type traceStore struct {
+	max     int
+	order   []string // insertion order, oldest first
+	entries map[string]*storedTrace
+	nextRef uint64
+
+	stored, evictions uint64
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{max: max, entries: make(map[string]*storedTrace)}
+}
+
+// add retains a freshly recorded trace and returns its ref, evicting the
+// oldest retained trace beyond capacity.
+func (s *traceStore) add(benchmark string, lt *exectrace.Launch) string {
+	s.nextRef++
+	ref := fmt.Sprintf("trace-%06d", s.nextRef)
+	s.entries[ref] = &storedTrace{ref: ref, benchmark: benchmark, launch: lt}
+	s.order = append(s.order, ref)
+	s.stored++
+	for len(s.order) > s.max {
+		delete(s.entries, s.order[0])
+		s.order = s.order[1:]
+		s.evictions++
+	}
+	return ref
+}
+
+// get resolves a ref to its retained trace.
+func (s *traceStore) get(ref string) (*storedTrace, bool) {
+	st, ok := s.entries[ref]
+	return st, ok
+}
+
+func (s *traceStore) len() int { return len(s.entries) }

@@ -99,8 +99,11 @@ func writeMetrics(w io.Writer, st jobs.Stats, hs *httpStats, ready bool, info ve
 	counter("warpedd_cache_misses_total", "Submissions that missed the result cache.", st.CacheMisses)
 	counter("warpedd_cache_evictions_total", "Results evicted from the LRU cache by capacity pressure.", st.CacheEvictions)
 	counter("warpedd_sim_cycles_total", "Simulated GPU cycles across completed runs (rate() gives sim-cycles/s).", st.SimCycles)
+	counter("warpedd_traces_recorded_total", "warped.trace/v1 recordings captured by record-mode jobs.", st.TracesRecorded)
+	counter("warpedd_trace_evictions_total", "Recordings dropped from the trace store by capacity pressure.", st.TraceEvictions)
 
 	gauge("warpedd_cache_entries", "Results currently held in the LRU cache.", float64(st.CacheEntries))
+	gauge("warpedd_trace_entries", "Recordings currently resident and replayable.", float64(st.TraceEntries))
 	gauge("warpedd_queue_depth", "Jobs waiting in the admission queue.", float64(st.Queued))
 	gauge("warpedd_queue_capacity", "Admission queue capacity.", float64(st.QueueCapacity))
 	gauge("warpedd_jobs_running", "Jobs currently occupying a worker.", float64(st.Running))

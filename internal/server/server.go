@@ -141,11 +141,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // submitRequest is the POST /v1/jobs body. Config starts from the named
 // preset ("warped", the paper configuration, unless "baseline" is asked
 // for) and the optional config object overrides individual sim.Config
-// fields by their Go names, e.g. {"CompressLatency": 4}.
+// fields by their Go names, e.g. {"CompressLatency": 4}. Mode and
+// trace_ref are additive: omitted (or "execute") keeps the classic full
+// simulation; "record" also captures a warped.trace/v1 recording and
+// reports its ref in the job view, and "replay" re-times a recorded ref
+// under this request's configuration. Unknown modes are rejected with 400,
+// never silently executed.
 type submitRequest struct {
 	Benchmark string          `json:"benchmark"`
 	Preset    string          `json:"preset"`
 	Config    json.RawMessage `json:"config"`
+	Mode      string          `json:"mode"`
+	TraceRef  string          `json:"trace_ref"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -156,7 +163,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Benchmark == "" {
+	// Replay jobs may omit the benchmark: the recording is self-contained
+	// and remembers which workload it captured.
+	if req.Benchmark == "" && req.Mode != string(jobs.ModeReplay) {
 		writeError(w, http.StatusBadRequest, "missing benchmark (see GET /v1/benchmarks)")
 		return
 	}
@@ -179,7 +188,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job, err := s.mgr.Submit(req.Benchmark, cfg)
+	job, err := s.mgr.SubmitRequest(jobs.Request{
+		Benchmark: req.Benchmark,
+		Config:    cfg,
+		Mode:      jobs.Mode(req.Mode),
+		TraceRef:  req.TraceRef,
+	})
 	if err != nil {
 		var unknown *jobs.UnknownBenchmarkError
 		switch {
@@ -190,7 +204,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.As(err, &unknown):
 			writeError(w, http.StatusBadRequest, "%v (see GET /v1/benchmarks)", err)
-		default: // config validation
+		default:
+			// Config validation and the trace-mode rejections
+			// (*UnknownModeError, *UnknownTraceError, ref/mode mismatches)
+			// are all client errors.
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return

@@ -1,0 +1,60 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// TestRecordReplayHTTP drives the trace modes end to end over the JSON
+// API: record a benchmark, read the trace ref off the job view, replay it
+// under a different timing configuration (benchmark omitted — the
+// recording remembers it), and check the strict 400s for unknown modes and
+// dangling refs.
+func TestRecordReplayHTTP(t *testing.T) {
+	_, ts := newServer(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+
+	v := postJob(t, ts, `{"benchmark": "zz-srv", "mode": "record", "config": {"NumSMs": 2}}`, http.StatusAccepted)
+	if v.Mode != jobs.ModeRecord {
+		t.Fatalf("submitted view mode = %q, want record", v.Mode)
+	}
+	v = waitJobState(t, ts, v.ID, jobs.StateDone)
+	if v.TraceRef == "" {
+		t.Fatalf("record job done without trace_ref: %+v", v)
+	}
+
+	rv := postJob(t, ts, fmt.Sprintf(`{"mode": "replay", "trace_ref": %q, "config": {"NumSMs": 2, "CompressLatency": 4}}`, v.TraceRef), http.StatusAccepted)
+	rv = waitJobState(t, ts, rv.ID, jobs.StateDone)
+	if rv.Benchmark != "zz-srv" || rv.Mode != jobs.ModeReplay || rv.TraceRef != v.TraceRef {
+		t.Fatalf("replay view = %+v", rv)
+	}
+	if rv.Result == nil || rv.Result.Cycles == 0 {
+		t.Fatalf("replay produced no result: %+v", rv)
+	}
+
+	postJob(t, ts, `{"benchmark": "zz-srv", "mode": "turbo", "config": {"NumSMs": 2}}`, http.StatusBadRequest)
+	postJob(t, ts, `{"mode": "replay", "trace_ref": "trace-999999", "config": {"NumSMs": 2}}`, http.StatusBadRequest)
+	// A replay submission with no ref at all must not fall back to execute.
+	postJob(t, ts, `{"benchmark": "zz-srv", "mode": "replay", "config": {"NumSMs": 2}}`, http.StatusBadRequest)
+
+	// The trace counters surface in the Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"warpedd_traces_recorded_total 1", "warpedd_trace_entries 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

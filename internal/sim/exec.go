@@ -183,6 +183,9 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 			if err != nil {
 				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
 			}
+			if rec := s.gpu.rec; rec != nil && in.Op == isa.OpLdG {
+				rec.noteGlobal(addr, memLoad)
+			}
 			if v != res.dstVals[lane] {
 				res.dstVals[lane] = v
 				changed = true
@@ -214,6 +217,9 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 			if err := s.gpu.mem.Store32(addr, v+add); err != nil {
 				return fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
 			}
+			if rec := s.gpu.rec; rec != nil {
+				rec.noteAtom(addr, v, add)
+			}
 			if v != res.dstVals[lane] {
 				res.dstVals[lane] = v
 				changed = true
@@ -242,6 +248,9 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 			}
 			if err != nil {
 				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
+			}
+			if rec := s.gpu.rec; rec != nil && in.Op == isa.OpStG {
+				rec.noteGlobal(addr, memStore)
 			}
 		}
 		s.memTiming(res, in.Op == isa.OpStG, eff)

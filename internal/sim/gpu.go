@@ -25,6 +25,12 @@ type GPU struct {
 	cfg Config
 	mem *mem.Global
 	sms []*SM
+
+	// Front-end selection for the current run. Both nil in execute mode;
+	// rec tees the functional front-end into a trace (RecordContextBeat),
+	// rp replaces it with a trace cursor (ReplayContextBeat).
+	rec *recorder
+	rp  *replayRun
 }
 
 // New builds a GPU from a validated configuration.
@@ -81,6 +87,14 @@ func (g *GPU) RunContext(ctx context.Context, l isa.Launch) (*Result, error) {
 // instructions, not cycles, so a deadlocked pipeline that still burns
 // cycles reads as stalled. beat may be nil.
 func (g *GPU) RunContextBeat(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Result, error) {
+	g.rec, g.rp = nil, nil
+	return g.run(ctx, l, beat)
+}
+
+// run is the shared simulation engine behind execute, record and replay
+// modes: CTA dispatch, the cycle loop, drain invariants and result
+// assembly. The front-end flavor is selected by g.rec/g.rp.
+func (g *GPU) run(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -90,7 +104,10 @@ func (g *GPU) RunContextBeat(ctx context.Context, l isa.Launch, beat *atomic.Uin
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	if l.Kernel.ReconvPC == nil {
+	// Replay never consults the reconvergence table (the trace already is
+	// the resolved control flow) and must not mutate the kernel, which may
+	// be shared read-only with concurrent replays of the same trace.
+	if g.rp == nil && l.Kernel.ReconvPC == nil {
 		if err := cfg.ComputeReconvergence(l.Kernel); err != nil {
 			return nil, err
 		}

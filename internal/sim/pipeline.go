@@ -5,7 +5,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/regfile"
 	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/internal/valueprof"
 )
 
 // pipeStage enumerates the timing states of an in-flight instruction.
@@ -350,8 +350,8 @@ func (s *SM) commitWrite(f *inflight) {
 	}
 
 	if s.cfg.CharacterizeWrites {
-		s.st.WriteBins[phase][trace.BinOf(&f.res.dstVals)]++
-		s.st.BDIChoices[trace.ExplorerChoice(&f.res.dstVals)]++
+		s.st.WriteBins[phase][valueprof.BinOf(&f.res.dstVals)]++
+		s.st.BDIChoices[valueprof.ExplorerChoice(&f.res.dstVals)]++
 	}
 }
 

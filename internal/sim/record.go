@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/exectrace"
+	"repro/internal/isa"
+)
+
+// ErrUntraceable marks a launch whose value stream is irreducibly
+// schedule-dependent — some memory cell is accessed both atomically and
+// non-atomically — so no warped.trace/v1 capture of it can replay
+// correctly under other configurations. Callers fall back to execute mode.
+// Test with errors.Is.
+var ErrUntraceable = errors.New("sim: launch mixes atomic and non-atomic access to the same address; not traceable")
+
+// recorder tees the functional front-end into an exectrace.Launch while an
+// ordinary execute-mode simulation runs. It observes every issued
+// instruction after its architectural effect resolves, so the captured
+// stream is exactly what the timing back-end consumed — dummy MOVs and
+// other timing artifacts are never recorded (replay re-derives them from
+// its own configuration).
+type recorder struct {
+	launch      *exectrace.Launch
+	streams     []*exectrace.WarpStream // indexed ctaID*warpsPerCTA + warpInCTA
+	warpsPerCTA int
+
+	// atomSeen maps each atomically-touched address to the value it held
+	// the first time any atomic read it — its launch-time value, since
+	// atomics are the only writers of those cells during the launch.
+	atomSeen map[uint32]uint32
+	// pend buffers the per-lane operations of the atomic currently inside
+	// execute; record() flushes them into the issuing warp's stream.
+	pend []exectrace.AtomOp
+
+	// memUse tracks how each global address was touched, to detect the one
+	// program shape a trace cannot represent: a cell accessed both
+	// atomically and non-atomically in the same launch. Such mixing makes
+	// the value stream schedule-dependent, so record refuses it (see
+	// ErrUntraceable) rather than produce a trace that replays wrong.
+	memUse map[uint32]uint8
+	err    error
+}
+
+const (
+	memLoad  uint8 = 1 << iota // non-atomic ld.global
+	memStore                   // non-atomic st.global
+	memAtom                    // atom.add
+)
+
+func newRecorder(l isa.Launch) *recorder {
+	// Snapshot the kernel without its reconvergence table: ReconvPC is an
+	// execute-mode artifact the replayer never reads, and dropping it keeps
+	// trace bytes independent of whether the CFG pass ran.
+	k := *l.Kernel
+	k.ReconvPC = nil
+	r := &recorder{
+		launch: &exectrace.Launch{
+			Kernel: &k,
+			Grid:   l.Grid,
+			Block:  l.Block,
+			Params: l.Params,
+		},
+		warpsPerCTA: l.WarpsPerCTA(),
+		atomSeen:    make(map[uint32]uint32),
+		memUse:      make(map[uint32]uint8),
+	}
+	n := l.NumCTAs() * r.warpsPerCTA
+	r.streams = make([]*exectrace.WarpStream, n)
+	for i := range r.streams {
+		r.streams[i] = &exectrace.WarpStream{CTAID: i / r.warpsPerCTA, WarpInCTA: i % r.warpsPerCTA}
+	}
+	r.launch.Warps = r.streams
+	return r
+}
+
+// noteAtom is called from inside execute's atomic loop for each executed
+// lane: addr is the target cell, pre the value read, add the addend.
+func (r *recorder) noteAtom(addr, pre, add uint32) {
+	if _, ok := r.atomSeen[addr]; !ok {
+		r.atomSeen[addr] = pre
+	}
+	if r.memUse[addr]&(memLoad|memStore) != 0 {
+		r.fail(addr)
+	}
+	r.memUse[addr] |= memAtom
+	r.pend = append(r.pend, exectrace.AtomOp{Addr: addr, Add: add})
+}
+
+// noteGlobal is called for each executed lane of a non-atomic global
+// load/store.
+func (r *recorder) noteGlobal(addr uint32, kind uint8) {
+	if r.memUse[addr]&memAtom != 0 {
+		r.fail(addr)
+	}
+	r.memUse[addr] |= kind
+}
+
+func (r *recorder) fail(addr uint32) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w (address 0x%x)", ErrUntraceable, addr)
+	}
+}
+
+// record appends one issued instruction to its warp's stream.
+func (r *recorder) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *execResult) {
+	ws := r.streams[w.ctaID*r.warpsPerCTA+w.warpInCTA]
+	rec := exectrace.Rec{PC: pc, Active: active, Eff: eff}
+	if res.writes {
+		rec.Flags |= exectrace.FlagWrites
+	}
+	if in.Op == isa.OpAtomAdd {
+		// Atomic outcomes are schedule-dependent: the replayer recomputes
+		// the old-value vector (and the unchanged bit) against its shadow
+		// memory, so neither is stored — which also keeps trace bytes
+		// independent of the recording configuration.
+		ws.Atoms = append(ws.Atoms, r.pend...)
+	} else if res.writes {
+		if res.unchanged {
+			rec.Flags |= exectrace.FlagUnchanged
+		} else {
+			rec.Flags |= exectrace.FlagVals
+			ws.Vals = append(ws.Vals, res.dstVals)
+		}
+	}
+	switch in.Op {
+	case isa.OpLdG, isa.OpStG, isa.OpAtomAdd:
+		rec.NSegs = uint8(res.nsegs)
+		ws.Segs = append(ws.Segs, res.segs()...)
+		if in.Op == isa.OpAtomAdd {
+			rec.Deg = uint16(res.atomDeg)
+		}
+	case isa.OpLdS, isa.OpStS:
+		rec.Deg = uint16(res.sharedDeg)
+	}
+	ws.Recs = append(ws.Recs, rec)
+	r.pend = r.pend[:0]
+}
+
+// finish seals the launch: the atomic launch-time table is sorted by
+// address so the serialized trace is canonical regardless of discovery
+// order.
+func (r *recorder) finish() *exectrace.Launch {
+	cells := make([]exectrace.AtomCell, 0, len(r.atomSeen))
+	for a, v := range r.atomSeen {
+		cells = append(cells, exectrace.AtomCell{Addr: a, Val: v})
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Addr < cells[j].Addr })
+	r.launch.AtomInit = cells
+	return r.launch
+}
+
+// traceConfigError explains why a configuration cannot record or replay.
+func (g *GPU) traceConfigError() error {
+	if g.cfg.Faults.Enabled() {
+		return &ConfigError{Field: "Faults", Reason: "fault injection corrupts functional state at commit time; record and replay require a fault-free functional front-end"}
+	}
+	return nil
+}
+
+// Record runs the launch in record mode: a normal execute-mode simulation
+// whose functional front-end is teed into a trace launch. The returned
+// Result is byte-identical to what RunContext would produce — recording is
+// observation, never perturbation.
+func (g *GPU) Record(l isa.Launch) (*Result, *exectrace.Launch, error) {
+	return g.RecordContextBeat(context.Background(), l, nil)
+}
+
+// RecordContextBeat is Record with cancellation and a progress heartbeat
+// (see RunContextBeat).
+func (g *GPU) RecordContextBeat(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Result, *exectrace.Launch, error) {
+	if err := g.traceConfigError(); err != nil {
+		return nil, nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g.rec = newRecorder(l)
+	defer func() { g.rec = nil }()
+	res, err := g.run(ctx, l, beat)
+	if err != nil {
+		return nil, nil, err
+	}
+	lt := g.rec.finish()
+	if err := lt.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: recorded trace failed validation: %w", err)
+	}
+	return res, lt, nil
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/exectrace"
+	"repro/internal/isa"
+)
+
+// FuzzRecordReplay is the end-to-end trace oracle as a fuzz target: any
+// assemblable kernel that records successfully must replay — through a full
+// wire-format round trip — to the byte-identical sim.Result. The corpus
+// seeds it with the suite's representative control-flow shapes; the fuzzer
+// then mutates the assembly and geometry.
+func FuzzRecordReplay(f *testing.F) {
+	f.Add(tidKernelSrc, uint8(3), uint8(1))
+	f.Add(replayDivergentSrc, uint8(2), uint8(1))
+	f.Add(replayAtomicSrc, uint8(1), uint8(0))
+
+	f.Fuzz(func(t *testing.T, src string, grid, block uint8) {
+		k, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		l := isa.Launch{
+			Kernel: k,
+			Grid:   isa.Dim3{X: 1 + int(grid)%4},
+			Block:  isa.Dim3{X: 32 * (1 + int(block)%4)},
+		}
+		c := testConfig()
+		c.MaxCycles = 200_000 // fuzzed kernels may loop forever
+
+		gRec, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recRes, lt, err := gRec.Record(l)
+		if err != nil {
+			t.Skip() // invalid program behavior (OOB access, runaway loop)
+		}
+		var buf bytes.Buffer
+		if err := exectrace.Write(&buf, &exectrace.Trace{Launches: []*exectrace.Launch{lt}}); err != nil {
+			t.Fatalf("recorded trace failed to serialize: %v", err)
+		}
+		decoded, err := exectrace.Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to decode: %v", err)
+		}
+		gR, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resR, err := gR.Replay(decoded.Launches[0])
+		if err != nil {
+			t.Fatalf("recorded trace failed to replay: %v", err)
+		}
+		be, _ := json.Marshal(recRes)
+		br, _ := json.Marshal(resR)
+		if !bytes.Equal(be, br) {
+			t.Fatalf("replay diverged from record\nrecord: %s\nreplay: %s", be, br)
+		}
+	})
+}

@@ -244,6 +244,9 @@ func (s *SM) tryLaunchCTA(ctaID int) bool {
 		}
 		s.ageSeq++
 		w := s.allocWarpObj(slot, ctaSlot, ctaID, wi, live, s.kernel.NumRegs, s.ageSeq)
+		if s.gpu.rp != nil {
+			w.rpStream = s.gpu.rp.stream(ctaID, wi)
+		}
 		s.warps[slot] = w
 		if err := s.rfFile.AllocWarp(slot, s.kernel.NumRegs); err != nil {
 			s.err = err
@@ -286,13 +289,29 @@ func (s *SM) issueAll() {
 	s.cands = cands[:0] // retain grown backing
 }
 
-// canIssue checks every issue hazard for the warp's next instruction.
-func (s *SM) canIssue(w *Warp) bool {
+// nextInstr returns the warp's next instruction: the SIMT stack top in
+// execute/record mode, the trace cursor in replay mode. nil when the warp
+// has nothing left to issue.
+func (s *SM) nextInstr(w *Warp) *isa.Instr {
+	if s.gpu.rp != nil {
+		if w.rpRec >= len(w.rpStream.Recs) {
+			return nil
+		}
+		return &s.kernel.Code[w.rpStream.Recs[w.rpRec].PC]
+	}
 	t := w.tos()
 	if t == nil {
+		return nil
+	}
+	return &s.kernel.Code[t.pc]
+}
+
+// canIssue checks every issue hazard for the warp's next instruction.
+func (s *SM) canIssue(w *Warp) bool {
+	in := s.nextInstr(w)
+	if in == nil {
 		return false
 	}
-	in := &s.kernel.Code[t.pc]
 
 	// Predicate scoreboard: guard, comparison destination, selp source.
 	if in.Pred != isa.PredNone && w.predBusy&(1<<in.Pred) != 0 {
@@ -330,13 +349,27 @@ func (s *SM) canIssue(w *Warp) bool {
 	return true
 }
 
-// issue executes one instruction (or injects a dummy MOV) for warp w.
+// issue executes one instruction (or injects a dummy MOV) for warp w. The
+// issue-side timing machinery — dummy MOV injection, collectors, bank
+// reads, scoreboards — is identical across front-ends; only the source of
+// (pc, active, eff) and the functional step differ between execute/record
+// and replay.
 func (s *SM) issue(w *Warp) {
-	t := w.tos()
-	pc := t.pc
+	var pc int32
+	var active, eff uint32
+	replaying := s.gpu.rp != nil
+	if replaying {
+		r := &w.rpStream.Recs[w.rpRec]
+		pc, active, eff = r.PC, r.Active, r.Eff
+	} else {
+		t := w.tos()
+		pc = t.pc
+		active = t.mask
+	}
 	in := &s.kernel.Code[pc]
-	active := t.mask
-	eff := active & w.guardMask(in)
+	if !replaying {
+		eff = active & w.guardMask(in)
+	}
 
 	// Dummy MOV injection (paper §5.2): a partial write to a register held
 	// in compressed state must first be decompressed in place. The
@@ -357,13 +390,24 @@ func (s *SM) issue(w *Warp) {
 		s.st.DivergentInstrs++
 	}
 
-	// Take the inflight record up front and let execute fill its result in
-	// place; control instructions (and errors) hand it straight back.
+	// Take the inflight record up front and let the functional step fill
+	// its result in place; control instructions (and errors) hand it
+	// straight back.
 	f := s.allocInflight()
-	if err := s.execute(w, in, pc, active, eff, &f.res); err != nil {
-		s.err = err
-		s.freeInflight(f)
-		return
+	if replaying {
+		s.replayStep(w, in, &f.res)
+	} else {
+		if err := s.execute(w, in, pc, active, eff, &f.res); err != nil {
+			s.err = err
+			s.freeInflight(f)
+			return
+		}
+		if rec := s.gpu.rec; rec != nil {
+			rec.record(w, in, pc, active, eff, &f.res)
+			if rec.err != nil {
+				s.err = rec.err // untraceable launch: abort the recording run
+			}
+		}
 	}
 	if in.Op.Class() == isa.ClassCtrl {
 		s.freeInflight(f)

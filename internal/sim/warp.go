@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/exectrace"
 	"repro/internal/isa"
 )
 
@@ -57,6 +58,15 @@ type Warp struct {
 	// refreshes the entry; fault corruption invalidates it.
 	encCache [isa.MaxRegs]core.Encoding
 	encValid uint64
+
+	// Replay front-end state: the warp's recorded stream and its cursors
+	// into the record list and the value/segment/atomic side pools. Nil
+	// and zero outside replay mode.
+	rpStream *exectrace.WarpStream
+	rpRec    int
+	rpVal    int
+	rpSeg    int
+	rpAtom   int
 }
 
 // newWarp builds a fresh warp. The SM reuses retired warp objects through a
@@ -98,6 +108,8 @@ func (w *Warp) reset(slot, ctaSlot, ctaID, warpInCTA int, liveThreads int, numRe
 	w.regBusy = 0
 	w.predBusy = 0
 	w.encValid = 0
+	w.rpStream = nil
+	w.rpRec, w.rpVal, w.rpSeg, w.rpAtom = 0, 0, 0, 0
 }
 
 // tos returns the top SIMT stack entry; nil when the warp has fully exited.

@@ -1,7 +1,7 @@
-// Package trace characterizes register write values the way paper §3 does:
+// Package valueprof characterizes register write values the way paper §3 does:
 // successive-lane arithmetic distances binned into zero / 128 / 32K / random
 // (Fig 2) and the full-BDI best-parameter breakdown (Fig 5).
-package trace
+package valueprof
 
 import (
 	"repro/internal/core"

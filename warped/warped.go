@@ -29,6 +29,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/exectrace"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/isa"
@@ -142,6 +143,41 @@ func BaselineConfig() Config { return sim.BaselineConfig() }
 
 // NewGPU builds a simulated GPU.
 func NewGPU(c Config) (*GPU, error) { return sim.New(c) }
+
+// --- Execution traces (warped.trace/v1) ---
+//
+// The simulator's functional front-end and timing/compression/energy
+// back-end are split behind a versioned trace format: GPU.Record executes
+// a launch once and captures everything the back-end needs, and GPU.Replay
+// re-times the recording under any configuration with byte-identical
+// results. See DESIGN.md §15.
+
+// TraceSchema identifies the versioned execution-trace container format,
+// the first header field of every serialized trace.
+const TraceSchema = exectrace.Schema
+
+// Trace is a recorded run: a self-describing header plus one recorded
+// launch per kernel invocation.
+type Trace = exectrace.Trace
+
+// TraceMeta is the trace header (schema, provenance, launch count).
+type TraceMeta = exectrace.Meta
+
+// TraceLaunch is the recorded functional execution of one kernel launch,
+// self-contained (kernel image, geometry, value streams) so replay needs
+// neither the benchmark registry nor its input generators.
+type TraceLaunch = exectrace.Launch
+
+// ErrUntraceable rejects recording a launch whose replayed value streams
+// would be schedule-dependent (atomic and non-atomic access to the same
+// global address). Such launches must run in execute mode.
+var ErrUntraceable = sim.ErrUntraceable
+
+// WriteTrace serializes a trace in the TraceSchema wire format.
+func WriteTrace(w io.Writer, t *Trace) error { return exectrace.Write(w, t) }
+
+// ReadTrace deserializes a TraceSchema trace, validating it structurally.
+func ReadTrace(r io.Reader) (*Trace, error) { return exectrace.Read(r) }
 
 // --- ISA and assembler ---
 
@@ -327,15 +363,3 @@ func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExperimentTitle returns an exhibit's caption.
 func ExperimentTitle(id string) (string, bool) { return experiments.Title(id) }
-
-// ExperimentOptions configures a legacy experiment runner.
-//
-// Deprecated: use NewExperiments with functional options.
-type ExperimentOptions = experiments.Options
-
-// NewExperimentRunner builds a sequential runner from legacy options.
-//
-// Deprecated: use NewExperiments with functional options.
-func NewExperimentRunner(opts ExperimentOptions) *ExperimentRunner {
-	return experiments.NewRunner(opts)
-}
