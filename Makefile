@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-full report serve cluster-smoke clean
+.PHONY: build test verify bench bench-full report serve cluster-smoke store-smoke clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzTraceRead -fuzztime=3s ./internal/exectrace
 	$(GO) test -run=^$$ -fuzz=FuzzRecordReplay -fuzztime=3s ./internal/sim
+	$(GO) test -run=^$$ -fuzz=FuzzStoreRead -fuzztime=3s ./internal/store
 
 # Benchmark-regression workflow (DESIGN.md §12): `make bench` runs the
 # benchmark filter BENCH with allocation reporting, BENCHCOUNT times, and
@@ -58,6 +59,13 @@ serve:
 # byte-identical to a single-node run (README "Cluster", DESIGN.md §14).
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# store-smoke boots a warpedd worker with a disk store, drains it with
+# SIGTERM mid-exercise, restarts it on the same store directory, and
+# asserts the repeat campaign is served from the store with a
+# byte-identical report (README "Serving", DESIGN.md §16).
+store-smoke:
+	bash scripts/store_restart_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -101,6 +101,7 @@ func runSweep(ctx context.Context, args []string) error {
 		concurrency = fs.Int("concurrency", 0, "max in-flight jobs across the cluster (0 = 4 per worker)")
 		attempts    = fs.Int("attempts", 3, "same-worker attempts before declaring it down")
 		timeout     = fs.Duration("timeout", 0, "overall sweep deadline (0 = none)")
+		apiKey      = fs.String("api-key", "", "tenant API key sent with every submission (WARPEDCTL_API_KEY env overrides empty)")
 		quiet       = fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	fs.Parse(args)
@@ -131,7 +132,11 @@ func runSweep(ctx context.Context, args []string) error {
 	}
 	reg.Start(ctx)
 
-	opts := cluster.Options{Concurrency: *concurrency, WorkerAttempts: *attempts}
+	key := *apiKey
+	if key == "" {
+		key = os.Getenv("WARPEDCTL_API_KEY") // keep secrets out of process listings
+	}
+	opts := cluster.Options{Concurrency: *concurrency, WorkerAttempts: *attempts, APIKey: key}
 	if !*quiet {
 		opts.Progress = func(ev cluster.Event) {
 			if ev.Detail != "" {

@@ -9,6 +9,8 @@
 //	warpedd                                  # listen on :8077
 //	warpedd -addr :9000 -parallel 8 -queue 256 -cache 4096
 //	warpedd -scale small -watchdog 2m -retries 1
+//	warpedd -store-dir /var/lib/warpedd -store-budget 2GiB
+//	warpedd -tenants tenants.json            # per-tenant API keys and limits
 //
 // A quick session:
 //
@@ -31,14 +33,49 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/kernels"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/version"
 )
+
+// parseBytes parses a human byte size: a plain integer, or one with a
+// K/M/G/T suffix in decimal (KB, MB, ...) or binary (KiB, MiB, ...) form.
+// A bare suffix letter ("512M") means binary, matching operator habit.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	num := s
+	mult := int64(1)
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	}
+	for _, sf := range suffixes {
+		if len(s) > len(sf.suffix) && strings.EqualFold(s[len(s)-len(sf.suffix):], sf.suffix) {
+			num, mult = strings.TrimSpace(s[:len(s)-len(sf.suffix)]), sf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("byte size %q is negative", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	var (
@@ -53,6 +90,10 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown signal waits for in-flight jobs")
 		sseKA    = flag.Duration("sse-keepalive", 15*time.Second, "interval between keep-alive comments on idle event streams")
+		storeDir = flag.String("store-dir", "", "disk store directory; results and traces persist across restarts (empty = memory only)")
+		storeBud = flag.String("store-budget", "0", "disk store byte budget, e.g. 512MiB or 2GB (0 = unlimited); LRU entries beyond it are deleted")
+		traceBud = flag.String("trace-budget", "0", "resident recorded-trace byte budget, e.g. 256MiB (0 = entry cap only)")
+		tenants  = flag.String("tenants", "", "JSON tenant roster for API keys, fair-share weights and per-tenant limits (empty = single tenant, no auth)")
 		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -73,15 +114,49 @@ func main() {
 		log.Fatalf("warpedd: unknown -scale %q (have small, medium, large)", *scale)
 	}
 
+	storeBudget, err := parseBytes(*storeBud)
+	if err != nil {
+		log.Fatalf("warpedd: -store-budget: %v", err)
+	}
+	traceBudget, err := parseBytes(*traceBud)
+	if err != nil {
+		log.Fatalf("warpedd: -trace-budget: %v", err)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{BudgetBytes: storeBudget, Log: log.Printf})
+		if err != nil {
+			log.Fatalf("warpedd: %v", err)
+		}
+		ss := st.Stats()
+		log.Printf("warpedd: disk store %s: %d entries, %d bytes (budget %d)", *storeDir, ss.Entries, ss.Bytes, ss.Budget)
+	}
+	var roster []jobs.Tenant
+	if *tenants != "" {
+		f, err := os.Open(*tenants)
+		if err != nil {
+			log.Fatalf("warpedd: -tenants: %v", err)
+		}
+		roster, err = jobs.ParseTenants(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("warpedd: -tenants %s: %v", *tenants, err)
+		}
+		log.Printf("warpedd: %d tenants configured; submissions require a known API key (or the keyless tenant)", len(roster))
+	}
+
 	mgr := jobs.NewManager(context.Background(), jobs.Config{
-		Workers:      *parallel,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		RetainJobs:   *retain,
-		Scale:        sc,
-		Retries:      *retries,
-		RetryBackoff: *backoff,
-		Watchdog:     *watchdog,
+		Workers:         *parallel,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		RetainJobs:      *retain,
+		Scale:           sc,
+		Retries:         *retries,
+		RetryBackoff:    *backoff,
+		Watchdog:        *watchdog,
+		Store:           st,
+		TraceStoreBytes: traceBudget,
+		Tenants:         roster,
 	})
 	api := server.New(mgr)
 	api.SetSSEKeepAlive(*sseKA)

@@ -42,7 +42,8 @@ func workerDown(err error) error {
 // apiClient speaks the warpedd HTTP API (internal/server) to one or more
 // workers. It holds no per-worker state; the registry does.
 type apiClient struct {
-	http *http.Client
+	http   *http.Client
+	apiKey string // sent as X-API-Key on submissions when non-empty
 }
 
 // submitRequest mirrors the server's POST /v1/jobs body.
@@ -72,6 +73,9 @@ func (c *apiClient) submit(ctx context.Context, worker, benchmark string, cfg si
 		return view, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return view, workerDown(err)

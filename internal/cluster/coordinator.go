@@ -47,6 +47,9 @@ type Options struct {
 	// SSE streams are long-lived by design, and every request carries the
 	// sweep's context anyway.
 	Client *http.Client
+	// APIKey, when set, is sent as X-API-Key on every job submission, for
+	// fleets running with a -tenants roster.
+	APIKey string
 	// Progress, when set, receives coordinator events (calls serialized).
 	Progress func(Event)
 }
@@ -90,7 +93,7 @@ func New(reg *Registry, opts Options) *Coordinator {
 	if opts.Client == nil {
 		opts.Client = &http.Client{}
 	}
-	return &Coordinator{reg: reg, api: &apiClient{http: opts.Client}, opts: opts}
+	return &Coordinator{reg: reg, api: &apiClient{http: opts.Client, apiKey: opts.APIKey}, opts: opts}
 }
 
 // RunSweep executes every job of the spec across the cluster and merges

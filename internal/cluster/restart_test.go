@@ -1,0 +1,154 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/store"
+)
+
+// openStore opens a disk-store handle on dir, as one warpedd process would.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func storeCfg(t *testing.T, dir string) jobs.Config {
+	cfg := workerCfg()
+	cfg.Store = openStore(t, dir)
+	return cfg
+}
+
+// TestRollingRestartServesFromStore is the rolling-restart acceptance
+// scenario: a fleet sharing one content-addressed store directory loses a
+// worker mid-campaign, the campaign completes anyway, and a restarted
+// worker — fresh process, empty memory caches, same store directory —
+// serves the repeat sweep entirely from disk with a byte-identical merged
+// report. Nothing is simulated twice across the whole exercise.
+func TestRollingRestartServesFromStore(t *testing.T) {
+	spec := testSpec(t)
+	dir := t.TempDir()
+
+	// Oracle: a clean single-node run with no store at all.
+	oracle := startWorker(t, workerCfg())
+	defer oracle.mgr.Close()
+	_, soloCoord := newCoordinator(t, oracle)
+	solo, err := soloCoord.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := solo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First campaign: two workers over the shared store dir; one dies with
+	// every job pinned in flight.
+	release := gate(t)
+	a, b := startWorker(t, storeCfg(t, dir)), startWorker(t, storeCfg(t, dir))
+	defer b.mgr.Close()
+	_, coord := newCoordinator(t, a, b)
+
+	type outcome struct {
+		report *cluster.Report
+		err    error
+	}
+	sweepDone := make(chan outcome, 1)
+	go func() {
+		r, err := coord.RunSweep(context.Background(), spec)
+		sweepDone <- outcome{r, err}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for a.mgr.Stats().Submitted+b.mgr.Stats().Submitted < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs not admitted: a=%d b=%d", a.mgr.Stats().Submitted, b.mgr.Stats().Submitted)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.kill()
+	mgrClosed := make(chan struct{})
+	go func() { a.mgr.Close(); close(mgrClosed) }()
+	for {
+		unfinished := 0
+		for _, v := range a.mgr.Jobs() {
+			if v.State != jobs.StateDone && v.State != jobs.StateFailed {
+				unfinished++
+			}
+		}
+		if unfinished == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim still has %d unfinished jobs after kill", unfinished)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	release()
+	<-mgrClosed
+
+	out := <-sweepDone
+	if out.err != nil {
+		t.Fatalf("campaign failed after worker kill: %v", out.err)
+	}
+	if got := out.report.Failed(); got != 0 {
+		t.Fatalf("%d job(s) failed despite failover: %+v", got, out.report.Entries)
+	}
+	gotBytes, err := out.report.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("failover report differs from single-node report:\n--- failover ---\n%s\n--- single ---\n%s", gotBytes, wantBytes)
+	}
+
+	// Flush the survivor's write-through persists so the store holds the
+	// full campaign, exactly as a SIGTERM drain would before a re-deploy.
+	if err := b.mgr.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if bst := b.mgr.Stats(); bst.StoreWrites < 8 {
+		t.Fatalf("survivor persisted %d results, want all 8", bst.StoreWrites)
+	}
+
+	// Rolling restart: the dead worker comes back as a fresh process on the
+	// same store directory — new manager, empty LRU, new store handle.
+	restarted := startWorker(t, storeCfg(t, dir))
+	defer restarted.mgr.Close()
+	_, coord2 := newCoordinator(t, restarted)
+	rerun, err := coord2.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rerun.Failed(); got != 0 {
+		t.Fatalf("restarted sweep had %d failures: %+v", got, rerun.Entries)
+	}
+	rerunBytes, err := rerun.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rerunBytes, wantBytes) {
+		t.Fatalf("restarted-worker report differs from single-node report:\n--- restarted ---\n%s\n--- single ---\n%s", rerunBytes, wantBytes)
+	}
+
+	// The acceptance bar is >= 90% of the repeat sweep served from the
+	// store; this fleet does better — every job hits, nothing recomputes.
+	st := restarted.mgr.Stats()
+	if hitFrac := float64(st.StoreHits) / 8; hitFrac < 0.9 {
+		t.Fatalf("store hit fraction = %.2f (%d/8), want >= 0.90", hitFrac, st.StoreHits)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("restarted worker recomputed %d jobs; the store should have served them", st.Completed)
+	}
+	if st.StoreQuarantined != 0 {
+		t.Fatalf("restart quarantined %d entries on a healthy store", st.StoreQuarantined)
+	}
+}

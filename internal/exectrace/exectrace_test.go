@@ -126,7 +126,7 @@ func TestReadRejectsCorruption(t *testing.T) {
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Fatal("corrupt magic accepted")
 	}
-	if _, err := Read(bytes.NewReader([]byte(Schema+"\n{\"schema\":\"warped.trace/v9\",\"launches\":1}\n"))); err == nil {
+	if _, err := Read(bytes.NewReader([]byte(Schema + "\n{\"schema\":\"warped.trace/v9\",\"launches\":1}\n"))); err == nil {
 		t.Fatal("mismatched header schema accepted")
 	}
 }

@@ -20,10 +20,14 @@ import (
 	"sync"
 	"time"
 
+	"bytes"
+	"encoding/json"
+
 	"repro/internal/exectrace"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Admission errors. The server maps them to HTTP statuses: ErrQueueFull →
@@ -86,6 +90,10 @@ type Job struct {
 	Signature string // experiments.ConfigSignature of the submitted config
 	Config    sim.Config
 	Mode      Mode
+	// Tenant is the owning tenant's name when explicit tenants are
+	// configured, and empty in single-tenant mode — so single-tenant job
+	// views stay byte-identical to every previous release.
+	Tenant string
 
 	mu       sync.Mutex
 	state    State
@@ -109,6 +117,7 @@ type JobView struct {
 	Signature string      `json:"signature"`
 	State     State       `json:"state"`
 	Mode      Mode        `json:"mode,omitempty"`
+	Tenant    string      `json:"tenant,omitempty"`
 	TraceRef  string      `json:"trace_ref,omitempty"`
 	Cached    bool        `json:"cached,omitempty"`
 	Created   time.Time   `json:"created"`
@@ -127,6 +136,7 @@ func (j *Job) View() JobView {
 		Benchmark: j.Benchmark,
 		Signature: j.Signature,
 		State:     j.state,
+		Tenant:    j.Tenant,
 		TraceRef:  j.traceRef,
 		Cached:    j.cached,
 		Created:   j.created,
@@ -319,10 +329,21 @@ type Config struct {
 	// finished jobs are forgotten beyond it. <= 0 means 1024.
 	RetainJobs int
 	// TraceStore bounds how many recorded warped.trace/v1 launches stay
-	// resident for replay; the oldest recording is evicted beyond it, and
-	// replays referencing an evicted ref fail at submission with
-	// *UnknownTraceError. <= 0 means 16.
+	// resident for replay; the least recently used recording is evicted
+	// beyond it. Replays referencing an evicted ref fall back to the disk
+	// store when one is configured, and fail at submission with
+	// *UnknownTraceError otherwise. <= 0 means 16.
 	TraceStore int
+	// TraceStoreBytes additionally bounds the resident recorded traces by
+	// their in-memory size (Launch.MemBytes); <= 0 means no byte budget.
+	// Whichever of the two trace bounds is hit first evicts.
+	TraceStoreBytes int64
+	// Store, when non-nil, is the disk-backed write-through store:
+	// completed results and recorded traces are persisted to it
+	// asynchronously, and submissions that miss the in-memory LRU are
+	// served from it — so a restarted process answers repeat sweeps
+	// without re-simulating. The Manager does not close it.
+	Store *store.Store
 	// Scale is the workload size benchmarks are built at (default Small).
 	Scale kernels.Scale
 	// Retries, RetryBackoff and Watchdog configure the engine's
@@ -330,6 +351,10 @@ type Config struct {
 	Retries      int
 	RetryBackoff time.Duration
 	Watchdog     time.Duration
+	// Tenants declares the API tenants (see Tenant). Empty means
+	// single-tenant: no authentication, one implicit "default" tenant with
+	// no limits — the pre-tenancy behavior, byte-for-byte.
+	Tenants []Tenant
 }
 
 // Stats is a point-in-time snapshot of the Manager's counters, rendered by
@@ -352,9 +377,23 @@ type Stats struct {
 	CacheEvictions uint64 // results dropped by LRU capacity pressure
 	CacheEntries   int
 
-	TracesRecorded uint64 // traces captured by record jobs over the process lifetime
-	TraceEvictions uint64 // recordings dropped by trace-store capacity pressure
-	TraceEntries   int    // recordings currently resident and replayable
+	TracesRecorded    uint64 // traces captured by record jobs over the process lifetime
+	TraceEvictions    uint64 // recordings dropped by trace-store capacity pressure
+	TraceEntries      int    // recordings currently resident and replayable
+	TraceBytes        int64  // resident recorded-trace bytes (Launch.MemBytes)
+	TraceEvictedBytes uint64 // recorded-trace bytes reclaimed by capacity pressure
+
+	// Disk store counters (all zero when no store is configured).
+	StoreEnabled      bool
+	StoreHits         uint64 // submissions served from the disk store
+	StoreEntries      int
+	StoreBytes        int64
+	StoreBudget       int64
+	StoreWrites       uint64
+	StoreWriteErrors  uint64
+	StoreQuarantined  uint64
+	StoreEvicted      uint64
+	StoreEvictedBytes uint64
 
 	SimCycles uint64 // total simulated cycles across completed runs
 
@@ -363,6 +402,12 @@ type Stats struct {
 	QueueCapacity int
 	Workers       int
 	Draining      bool
+
+	// MultiTenant is true when explicit tenants are configured; Tenants
+	// then holds one entry per tenant in configuration order. In
+	// single-tenant mode it holds the implicit default tenant.
+	MultiTenant bool
+	Tenants     []TenantStat
 }
 
 // task is one queue entry: the job plus everything a worker needs to run
@@ -383,11 +428,22 @@ type Manager struct {
 	eng    *experiments.Engine
 	cancel context.CancelFunc
 
-	queue chan task
-	wg    sync.WaitGroup // workers
+	fq *fairQueue
+	wg sync.WaitGroup // workers
 
 	// pending counts admitted-but-unfinished tasks; Drain waits on it.
 	pending sync.WaitGroup
+
+	// storeWG counts in-flight write-through persists. Drain and Close wait
+	// on it after pending, so a SIGTERM during a sweep never loses a
+	// completed result that was still on its way to disk.
+	storeWG sync.WaitGroup
+	store   *store.Store // nil when no disk store is configured
+
+	// testWriteDelay stalls every write-through persist; only the
+	// drain-flush test sets it (before any submission), to prove Drain
+	// waits for persists that are still in flight.
+	testWriteDelay time.Duration
 
 	mu       sync.Mutex
 	closed   bool
@@ -402,6 +458,7 @@ type Manager struct {
 	submitted, completed, failed      uint64
 	rejectedFull, rejectedDraining    uint64
 	coalesced, cacheHits, cacheMisses uint64
+	storeHits                         uint64
 	simCycles                         uint64
 	queued, running                   int
 }
@@ -431,11 +488,20 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 	m := &Manager{
 		cfg:    cfg,
 		cancel: cancel,
-		queue:  make(chan task, cfg.QueueDepth),
+		fq:     newFairQueue(cfg.QueueDepth, cfg.Tenants),
 		jobs:   make(map[string]*Job),
 		byKey:  make(map[string][]*Job),
 		cache:  newLRU(cfg.CacheSize),
-		traces: newTraceStore(cfg.TraceStore),
+		traces: newTraceStore(cfg.TraceStore, cfg.TraceStoreBytes),
+		store:  cfg.Store,
+	}
+	if m.store != nil {
+		// Refs minted after a restart must not collide with traces a
+		// previous process persisted: advance the counter past everything
+		// the disk store holds.
+		for _, ref := range m.store.Keys(store.NSTrace) {
+			m.traces.recoverRef(ref)
+		}
 	}
 	m.eng = experiments.NewEngine(ctx, experiments.EngineConfig{
 		Parallelism:  cfg.Workers,
@@ -458,6 +524,82 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 // key is the shared cache/single-flight identity of a submission.
 func key(benchmark, signature string) string { return benchmark + "|" + signature }
 
+// storeKey is the disk store's result identity. It prefixes the in-memory
+// key with the workload scale because ConfigSignature covers only the sim
+// configuration — the same config at a different scale is a different
+// simulation, and the disk store outlives any single process's -scale flag.
+func (m *Manager) storeKey(benchmark, signature string) string {
+	return m.cfg.Scale.String() + "|" + key(benchmark, signature)
+}
+
+// loadStoredResultLocked probes the disk store for a completed result.
+// A payload that passes the store's CRC but no longer unmarshals is
+// quarantined and reported as a miss — degrade to recompute, never serve a
+// wrong result. Caller holds m.mu (the store's lock nests strictly inside).
+func (m *Manager) loadStoredResultLocked(benchmark, signature string) (*sim.Result, bool) {
+	data, ok := m.store.Get(store.NSResult, m.storeKey(benchmark, signature))
+	if !ok {
+		return nil, false
+	}
+	res := new(sim.Result)
+	if err := json.Unmarshal(data, res); err != nil {
+		m.store.Quarantine(store.NSResult, m.storeKey(benchmark, signature), err)
+		return nil, false
+	}
+	return res, true
+}
+
+// loadStoredTraceLocked probes the disk store for a recorded trace and, on
+// success, re-admits it to the in-memory trace store under its original
+// ref. Undecodable blobs are quarantined. Caller holds m.mu.
+func (m *Manager) loadStoredTraceLocked(ref string) (*storedTrace, bool) {
+	data, ok := m.store.Get(store.NSTrace, ref)
+	if !ok {
+		return nil, false
+	}
+	tr, err := exectrace.Read(bytes.NewReader(data))
+	if err == nil && len(tr.Launches) != 1 {
+		err = fmt.Errorf("trace blob holds %d launches, want 1", len(tr.Launches))
+	}
+	if err != nil {
+		m.store.Quarantine(store.NSTrace, ref, err)
+		return nil, false
+	}
+	m.traces.insert(ref, tr.Meta.Benchmark, tr.Launches[0])
+	return m.traces.get(ref)
+}
+
+// persistResult writes one completed result through to the disk store.
+// Runs on its own goroutine under storeWG; errors are absorbed (and counted
+// by the store) — persistence is an optimization, never a job failure.
+func (m *Manager) persistResult(benchmark, signature string, res *sim.Result) {
+	defer m.storeWG.Done()
+	if m.testWriteDelay > 0 {
+		time.Sleep(m.testWriteDelay)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	_ = m.store.Put(store.NSResult, m.storeKey(benchmark, signature), data)
+}
+
+// persistTrace writes one recorded launch through to the disk store as a
+// single-launch warped.trace/v1 container, so a future process can replay
+// the ref. Runs on its own goroutine under storeWG.
+func (m *Manager) persistTrace(ref, benchmark string, lt *exectrace.Launch) {
+	defer m.storeWG.Done()
+	var buf bytes.Buffer
+	t := &exectrace.Trace{
+		Meta:     exectrace.Meta{Benchmark: benchmark, Scale: m.cfg.Scale.String()},
+		Launches: []*exectrace.Launch{lt},
+	}
+	if err := exectrace.Write(&buf, t); err != nil {
+		return
+	}
+	_ = m.store.Put(store.NSTrace, ref, buf.Bytes())
+}
+
 // Request is one job submission: a benchmark and configuration, plus the
 // optional trace-mode fields. Mode "" (and "execute") is the classic full
 // simulation; "record" additionally captures the functional execution as a
@@ -471,6 +613,10 @@ type Request struct {
 	Config    sim.Config
 	Mode      Mode
 	TraceRef  string // replay input ref; must be empty in every other mode
+	// Tenant is the submitting tenant's name, resolved from the API key by
+	// the server (ResolveAPIKey). Empty means the anonymous tenant: the
+	// implicit default in single-tenant mode, the keyless tenant otherwise.
+	Tenant string
 }
 
 // Submit validates and admits one execute-mode simulation job. It is
@@ -517,9 +663,19 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	tenant, ok := m.fq.tenantByName(req.Tenant)
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("tenant %q: %w", req.Tenant, ErrUnknownTenant)
+	}
 	var launch *exectrace.Launch
 	if mode == ModeReplay {
 		st, ok := m.traces.get(req.TraceRef)
+		if !ok && m.store != nil {
+			// The ref may have been recorded by a previous process (or
+			// evicted from memory): fall back to the disk store.
+			st, ok = m.loadStoredTraceLocked(req.TraceRef)
+		}
 		if !ok {
 			m.mu.Unlock()
 			return nil, &UnknownTraceError{Ref: req.TraceRef}
@@ -540,6 +696,7 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 		if res, hit := m.cache.get(k); hit {
 			m.cacheHits++
 			job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
+			job.Tenant = tenant.viewName
 			job.state = StateDone
 			job.cached = true
 			job.result = res
@@ -551,24 +708,47 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 			return job, nil
 		}
 		m.cacheMisses++
+		if m.store != nil {
+			if res, ok := m.loadStoredResultLocked(benchmark, signature); ok {
+				m.storeHits++
+				m.cache.add(k, res) // promote: the next identical submit is a memory hit
+				job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
+				job.Tenant = tenant.viewName
+				job.state = StateDone
+				job.cached = true
+				job.result = res
+				job.finished = job.created
+				job.events = []Event{{Kind: "store-hit", Cycles: res.Cycles}}
+				m.jobs[job.ID] = job
+				m.retainLocked(job)
+				m.mu.Unlock()
+				return job, nil
+			}
+		}
+	}
+	// From here the submission will consume a worker, so it is charged
+	// against the tenant's rate. Cache and store hits above are free:
+	// re-reading a result the fleet already paid for is not load.
+	if !m.fq.allowRate(tenant) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("tenant %q: %w", tenant.spec.Name, ErrRateLimited)
 	}
 	job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
+	job.Tenant = tenant.viewName
 	job.state = StateQueued
 	job.events = []Event{{Kind: "queued"}}
 	m.pending.Add(1)
-	select {
-	case m.queue <- task{job: job, bench: b, cfg: cfg, launch: launch}:
-		m.submitted++
-		m.queued++
-		m.jobs[job.ID] = job
-		m.mu.Unlock()
-		return job, nil
-	default:
+	if err := m.fq.push(tenant, task{job: job, bench: b, cfg: cfg, launch: launch}); err != nil {
 		m.pending.Done()
 		m.rejectedFull++
 		m.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, err
 	}
+	m.submitted++
+	m.queued++
+	m.jobs[job.ID] = job
+	m.mu.Unlock()
+	return job, nil
 }
 
 // newJobLocked allocates a job (caller holds m.mu for the ID counter).
@@ -631,11 +811,27 @@ func (m *Manager) Jobs() []JobView {
 // worker drains the queue until Close.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for t := range m.queue {
+	for {
+		t, ok := m.fq.next()
+		if !ok {
+			return
+		}
 		m.runJob(t)
 		m.pending.Done()
 	}
 }
+
+// ResolveAPIKey maps a client-presented API key to its tenant name for
+// Request.Tenant. In single-tenant mode every key (including none)
+// resolves to the default tenant; otherwise an unknown key — or a missing
+// key when no keyless tenant is configured — fails with ErrUnknownTenant,
+// which the server maps to 401.
+func (m *Manager) ResolveAPIKey(key string) (string, error) {
+	return m.fq.resolveKey(key)
+}
+
+// MultiTenant reports whether explicit tenants are configured.
+func (m *Manager) MultiTenant() bool { return m.fq.multi }
 
 // runJob executes one admitted task on the engine and completes its job.
 func (m *Manager) runJob(t task) {
@@ -663,7 +859,12 @@ func (m *Manager) runJob(t task) {
 
 	m.mu.Lock()
 	if err == nil && lt != nil {
-		t.job.setTraceRef(m.traces.add(t.job.Benchmark, lt))
+		ref := m.traces.add(t.job.Benchmark, lt)
+		t.job.setTraceRef(ref)
+		if m.store != nil {
+			m.storeWG.Add(1)
+			go m.persistTrace(ref, t.job.Benchmark, lt)
+		}
 	}
 	m.running--
 	peers := m.byKey[k]
@@ -678,6 +879,10 @@ func (m *Manager) runJob(t task) {
 	}
 	if err == nil && res != nil {
 		m.cache.add(k, res)
+		if m.store != nil {
+			m.storeWG.Add(1)
+			go m.persistResult(t.job.Benchmark, t.job.Signature, res)
+		}
 	}
 	if res != nil {
 		m.simCycles += res.Cycles
@@ -754,6 +959,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.pending.Wait()
+		// Jobs are finished; now flush the write-through persists they
+		// spawned. A SIGTERM during a sweep must never lose a completed
+		// result that was still on its way to the disk store.
+		m.storeWG.Wait()
 		close(done)
 	}()
 	select {
@@ -775,7 +984,7 @@ func (m *Manager) Close() {
 	if !m.closed {
 		m.closed = true
 		m.draining = true
-		close(m.queue)
+		m.fq.close()
 	}
 	live := m.unfinishedLocked()
 	m.mu.Unlock()
@@ -784,6 +993,7 @@ func (m *Manager) Close() {
 		j.finish(nil, ErrShutdown)
 	}
 	m.wg.Wait()
+	m.storeWG.Wait()
 }
 
 // unfinishedLocked snapshots every job not yet in a terminal state.
@@ -803,29 +1013,50 @@ func (m *Manager) unfinishedLocked() []*Job {
 
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
+	// Snapshot the disk store outside m.mu: its counters live behind its
+	// own lock, which nests inside m.mu on the submit path.
+	var ss store.Stats
+	enabled := m.store != nil
+	if enabled {
+		ss = m.store.Stats()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Submitted:        m.submitted,
-		Rejected:         m.rejectedFull + m.rejectedDraining,
-		RejectedFull:     m.rejectedFull,
-		RejectedDraining: m.rejectedDraining,
-		Completed:        m.completed,
-		Failed:           m.failed,
-		Coalesced:        m.coalesced,
-		CacheHits:        m.cacheHits,
-		CacheMisses:      m.cacheMisses,
-		CacheEvictions:   m.cache.evictions,
-		CacheEntries:     m.cache.len(),
-		TracesRecorded:   m.traces.stored,
-		TraceEvictions:   m.traces.evictions,
-		TraceEntries:     m.traces.len(),
-		SimCycles:        m.simCycles,
-		Queued:           m.queued,
-		Running:          m.running,
-		QueueCapacity:    m.cfg.QueueDepth,
-		Workers:          m.cfg.Workers,
-		Draining:         m.draining,
+		Submitted:         m.submitted,
+		Rejected:          m.rejectedFull + m.rejectedDraining,
+		RejectedFull:      m.rejectedFull,
+		RejectedDraining:  m.rejectedDraining,
+		Completed:         m.completed,
+		Failed:            m.failed,
+		Coalesced:         m.coalesced,
+		CacheHits:         m.cacheHits,
+		CacheMisses:       m.cacheMisses,
+		CacheEvictions:    m.cache.evictions,
+		CacheEntries:      m.cache.len(),
+		TracesRecorded:    m.traces.stored,
+		TraceEvictions:    m.traces.evictions,
+		TraceEntries:      m.traces.len(),
+		TraceBytes:        m.traces.bytes(),
+		TraceEvictedBytes: m.traces.evictedBytes,
+		StoreEnabled:      enabled,
+		StoreHits:         m.storeHits,
+		StoreEntries:      ss.Entries,
+		StoreBytes:        ss.Bytes,
+		StoreBudget:       ss.Budget,
+		StoreWrites:       ss.Writes,
+		StoreWriteErrors:  ss.WriteErrors,
+		StoreQuarantined:  ss.Quarantined,
+		StoreEvicted:      ss.Evicted,
+		StoreEvictedBytes: ss.EvictedBytes,
+		SimCycles:         m.simCycles,
+		Queued:            m.queued,
+		Running:           m.running,
+		QueueCapacity:     m.cfg.QueueDepth,
+		Workers:           m.cfg.Workers,
+		Draining:          m.draining,
+		MultiTenant:       m.fq.multi,
+		Tenants:           m.fq.snapshot(),
 	}
 }
 

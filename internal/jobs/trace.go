@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/exectrace"
+	"repro/internal/store"
 )
 
 // Mode selects how a submitted job drives the simulator: full execution
@@ -62,41 +63,84 @@ type storedTrace struct {
 }
 
 // traceStore retains recorded traces under monotonic refs ("trace-000001"),
-// bounded by entry count with oldest-first eviction. It is not safe for
-// concurrent use; the Manager serializes access under its mutex.
+// bounded two ways: an entry-count cap and a byte budget over the traces'
+// resident memory (Launch.MemBytes), both enforced least-recently-used
+// first via the same store.Tracker policy the disk store uses. It is not
+// safe for concurrent use; the Manager serializes access under its mutex.
 type traceStore struct {
-	max     int
-	order   []string // insertion order, oldest first
-	entries map[string]*storedTrace
-	nextRef uint64
+	maxEntries int
+	tracker    *store.Tracker
+	entries    map[string]*storedTrace
+	nextRef    uint64
 
 	stored, evictions uint64
+	evictedBytes      uint64
 }
 
-func newTraceStore(max int) *traceStore {
-	return &traceStore{max: max, entries: make(map[string]*storedTrace)}
+func newTraceStore(maxEntries int, budgetBytes int64) *traceStore {
+	return &traceStore{
+		maxEntries: maxEntries,
+		tracker:    store.NewTracker(budgetBytes),
+		entries:    make(map[string]*storedTrace),
+	}
 }
 
-// add retains a freshly recorded trace and returns its ref, evicting the
-// oldest retained trace beyond capacity.
+// add retains a freshly recorded trace under the next monotonic ref and
+// returns it.
 func (s *traceStore) add(benchmark string, lt *exectrace.Launch) string {
 	s.nextRef++
 	ref := fmt.Sprintf("trace-%06d", s.nextRef)
-	s.entries[ref] = &storedTrace{ref: ref, benchmark: benchmark, launch: lt}
-	s.order = append(s.order, ref)
 	s.stored++
-	for len(s.order) > s.max {
-		delete(s.entries, s.order[0])
-		s.order = s.order[1:]
-		s.evictions++
-	}
+	s.insert(ref, benchmark, lt)
 	return ref
 }
 
-// get resolves a ref to its retained trace.
+// insert retains a trace under an explicit ref — add's tail, and the path
+// by which a ref recovered from the disk store re-enters memory. Both the
+// byte budget and the entry cap are applied; the just-inserted ref is never
+// its own victim.
+func (s *traceStore) insert(ref, benchmark string, lt *exectrace.Launch) {
+	if _, ok := s.entries[ref]; ok {
+		s.tracker.Touch(ref)
+		return
+	}
+	s.entries[ref] = &storedTrace{ref: ref, benchmark: benchmark, launch: lt}
+	victims := s.tracker.Add(ref, lt.MemBytes())
+	for s.tracker.Len() > s.maxEntries {
+		lru := s.tracker.Keys()[0]
+		if lru == ref {
+			break
+		}
+		s.tracker.Remove(lru)
+		victims = append(victims, lru)
+	}
+	for _, v := range victims {
+		if st, ok := s.entries[v]; ok {
+			s.evictedBytes += uint64(st.launch.MemBytes())
+			delete(s.entries, v)
+			s.evictions++
+		}
+	}
+}
+
+// get resolves a ref to its retained trace, refreshing its recency.
 func (s *traceStore) get(ref string) (*storedTrace, bool) {
 	st, ok := s.entries[ref]
+	if ok {
+		s.tracker.Touch(ref)
+	}
 	return st, ok
 }
 
-func (s *traceStore) len() int { return len(s.entries) }
+// recoverRef advances the ref counter past a ref found in the disk store at
+// startup, so refs minted after a restart never collide with traces a
+// previous process persisted.
+func (s *traceStore) recoverRef(ref string) {
+	var n uint64
+	if _, err := fmt.Sscanf(ref, "trace-%d", &n); err == nil && n > s.nextRef {
+		s.nextRef = n
+	}
+}
+
+func (s *traceStore) len() int     { return len(s.entries) }
+func (s *traceStore) bytes() int64 { return s.tracker.Bytes() }

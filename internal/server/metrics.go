@@ -101,18 +101,66 @@ func writeMetrics(w io.Writer, st jobs.Stats, hs *httpStats, ready bool, info ve
 	counter("warpedd_sim_cycles_total", "Simulated GPU cycles across completed runs (rate() gives sim-cycles/s).", st.SimCycles)
 	counter("warpedd_traces_recorded_total", "warped.trace/v1 recordings captured by record-mode jobs.", st.TracesRecorded)
 	counter("warpedd_trace_evictions_total", "Recordings dropped from the trace store by capacity pressure.", st.TraceEvictions)
+	counter("warpedd_trace_evicted_bytes_total", "Recorded-trace bytes reclaimed by capacity pressure.", st.TraceEvictedBytes)
+
+	if st.StoreEnabled {
+		counter("warpedd_store_hits_total", "Submissions served from the disk store.", st.StoreHits)
+		counter("warpedd_store_writes_total", "Entries durably written to the disk store.", st.StoreWrites)
+		counter("warpedd_store_write_errors_total", "Disk store writes that failed (the result survives in memory).", st.StoreWriteErrors)
+		counter("warpedd_store_quarantined_total", "Corrupt disk store entries moved aside instead of served.", st.StoreQuarantined)
+		counter("warpedd_store_evictions_total", "Disk store entries deleted by byte-budget pressure.", st.StoreEvicted)
+		counter("warpedd_store_evicted_bytes_total", "Disk store bytes reclaimed by byte-budget pressure.", st.StoreEvictedBytes)
+		gauge("warpedd_store_entries", "Entries currently indexed in the disk store.", float64(st.StoreEntries))
+		gauge("warpedd_store_bytes", "Bytes currently indexed in the disk store.", float64(st.StoreBytes))
+		gauge("warpedd_store_budget_bytes", "Configured disk store byte budget (0 = unlimited).", float64(st.StoreBudget))
+	}
 
 	gauge("warpedd_cache_entries", "Results currently held in the LRU cache.", float64(st.CacheEntries))
 	gauge("warpedd_trace_entries", "Recordings currently resident and replayable.", float64(st.TraceEntries))
+	gauge("warpedd_trace_bytes", "Resident recorded-trace bytes.", float64(st.TraceBytes))
 	gauge("warpedd_queue_depth", "Jobs waiting in the admission queue.", float64(st.Queued))
 	gauge("warpedd_queue_capacity", "Admission queue capacity.", float64(st.QueueCapacity))
 	gauge("warpedd_jobs_running", "Jobs currently occupying a worker.", float64(st.Running))
 	gauge("warpedd_workers", "Worker pool size.", float64(st.Workers))
+
+	// The two autoscaling signals, pre-divided so an HPA rule is a plain
+	// threshold: scale out when utilization or queue fill sits near 1.
+	utilization := 0.0
+	if st.Workers > 0 {
+		utilization = float64(st.Running) / float64(st.Workers)
+	}
+	gauge("warpedd_utilization", "Fraction of workers busy (Running/Workers); a sustained value near 1 means scale out.", utilization)
+	queueFill := 0.0
+	if st.QueueCapacity > 0 {
+		queueFill = float64(st.Queued) / float64(st.QueueCapacity)
+	}
+	gauge("warpedd_queue_fill", "Fraction of admission queue capacity in use (Queued/QueueCapacity).", queueFill)
+
 	readiness := 0.0
 	if ready {
 		readiness = 1
 	}
 	gauge("warpedd_ready", "1 while accepting jobs, 0 once draining.", readiness)
+
+	if st.MultiTenant {
+		fmt.Fprintf(w, "# HELP warpedd_tenant_queue_depth Jobs waiting per tenant.\n# TYPE warpedd_tenant_queue_depth gauge\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(w, "warpedd_tenant_queue_depth{tenant=%q} %d\n", t.Name, t.Queued)
+		}
+		fmt.Fprintf(w, "# HELP warpedd_tenant_weight Fair-share dispatch weight per tenant.\n# TYPE warpedd_tenant_weight gauge\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(w, "warpedd_tenant_weight{tenant=%q} %d\n", t.Name, t.Weight)
+		}
+		fmt.Fprintf(w, "# HELP warpedd_tenant_submitted_total Jobs queued per tenant.\n# TYPE warpedd_tenant_submitted_total counter\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(w, "warpedd_tenant_submitted_total{tenant=%q} %d\n", t.Name, t.Submitted)
+		}
+		fmt.Fprintf(w, "# HELP warpedd_tenant_rejected_total Submissions refused per tenant by its own limits.\n# TYPE warpedd_tenant_rejected_total counter\n")
+		for _, t := range st.Tenants {
+			fmt.Fprintf(w, "warpedd_tenant_rejected_total{tenant=%q,reason=\"quota\"} %d\n", t.Name, t.RejectedQuota)
+			fmt.Fprintf(w, "warpedd_tenant_rejected_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, t.RejectedRate)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP warpedd_build_info Build identity; value is always 1.\n# TYPE warpedd_build_info gauge\n")
 	fmt.Fprintf(w, "warpedd_build_info{version=%q,go=%q} 1\n", info.Version, info.Go)

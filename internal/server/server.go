@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/jobs"
@@ -121,6 +122,19 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// apiKey extracts the client's API key: X-API-Key wins, then
+// Authorization: Bearer. Empty means an unauthenticated request, which the
+// Manager maps to the anonymous tenant (or rejects when keys are required).
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(auth, "Bearer "))
+	}
+	return ""
+}
+
 // apiError is the JSON error envelope every non-2xx response uses.
 type apiError struct {
 	Error string `json:"error"`
@@ -188,18 +202,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tenant, err := s.mgr.ResolveAPIKey(apiKey(r))
+	if err != nil {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="warpedd"`)
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+
 	job, err := s.mgr.SubmitRequest(jobs.Request{
 		Benchmark: req.Benchmark,
 		Config:    cfg,
 		Mode:      jobs.Mode(req.Mode),
 		TraceRef:  req.TraceRef,
+		Tenant:    tenant,
 	})
 	if err != nil {
 		var unknown *jobs.UnknownBenchmarkError
 		switch {
-		case errors.Is(err, jobs.ErrQueueFull):
+		case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrTenantQueueFull), errors.Is(err, jobs.ErrRateLimited):
+			// All three are backpressure: the client should retry later.
+			// Tenant-scoped rejections name the tenant in the error body.
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, jobs.ErrUnknownTenant):
+			w.Header().Set("WWW-Authenticate", `Bearer realm="warpedd"`)
+			writeError(w, http.StatusUnauthorized, "%v", err)
 		case errors.Is(err, jobs.ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.As(err, &unknown):

@@ -1,0 +1,143 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// postJobAuth submits with an Authorization-style header and asserts the
+// expected status, returning the raw response.
+func postJobAuth(t *testing.T, url, body string, header, value string, wantCode int) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /v1/jobs (%s) = %d, want %d; body: %s", header, resp.StatusCode, wantCode, raw)
+	}
+	return resp, raw
+}
+
+// TestAPIKeyAuth: with a tenant roster, submissions need a valid key —
+// missing and wrong keys get 401 with a WWW-Authenticate challenge, valid
+// keys get in and the job view names the tenant. Both X-API-Key and
+// Authorization: Bearer work. Reads stay open.
+func TestAPIKeyAuth(t *testing.T) {
+	_, ts := newServer(t, jobs.Config{
+		Workers: 2, QueueDepth: 8, CacheSize: 8,
+		Tenants: []jobs.Tenant{{Name: "alice", Key: "ka"}, {Name: "bob", Key: "kb"}},
+	})
+
+	resp, _ := postJobAuth(t, ts.URL, submitBody(""), "", "", http.StatusUnauthorized)
+	if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+		t.Fatalf("401 without WWW-Authenticate challenge (got %q)", got)
+	}
+	postJobAuth(t, ts.URL, submitBody(""), "X-API-Key", "nope", http.StatusUnauthorized)
+
+	if v := postJobView(t, ts.URL, submitBody(""), "ka"); v.Tenant != "alice" {
+		t.Fatalf("accepted view tenant = %q, want alice", v.Tenant)
+	}
+	_, raw := postJobAuth(t, ts.URL, submitBody(`"CompressLatency": 5`), "Authorization", "Bearer kb", http.StatusAccepted)
+	var v jobs.JobView
+	if err := json.Unmarshal(raw, &v); err != nil || v.Tenant != "bob" {
+		t.Fatalf("bearer-auth view tenant = %q (%v), want bob", v.Tenant, err)
+	}
+
+	// Read endpoints don't require a key: results aren't tenant secrets,
+	// and the cluster coordinator polls them unauthenticated.
+	st, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs with no key = %d, want 200", st.StatusCode)
+	}
+}
+
+// TestSingleTenantStaysOpen: without a roster the API is unauthenticated
+// and job views omit the tenant field — the pre-tenancy wire format.
+func TestSingleTenantStaysOpen(t *testing.T) {
+	_, ts := newServer(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+	_, raw := postJobAuth(t, ts.URL, submitBody(""), "", "", http.StatusAccepted)
+	if strings.Contains(string(raw), `"tenant"`) {
+		t.Fatalf("single-tenant view leaks a tenant field: %s", raw)
+	}
+}
+
+// TestTenantLimitsOverHTTP: quota and rate rejections surface as 429 with
+// Retry-After, distinguishable from a plain queue-full by body text.
+func TestTenantLimitsOverHTTP(t *testing.T) {
+	release := gate(t)
+	_, ts := newServer(t, jobs.Config{
+		Workers: 1, QueueDepth: 16, CacheSize: 0,
+		Tenants: []jobs.Tenant{
+			{Name: "capped", Key: "kc", MaxQueued: 1},
+			{Name: "slow", Key: "ksl", RatePerSec: 0.000001, Burst: 1},
+		},
+	})
+	// Worker is held by the first job; the second fills capped's quota.
+	v := postJobView(t, ts.URL, submitBody(""), "kc")
+	waitJobState(t, ts, v.ID, jobs.StateRunning)
+	postJobView(t, ts.URL, submitBody(`"CompressLatency": 2`), "kc")
+	resp, raw := postJobAuth(t, ts.URL, submitBody(`"CompressLatency": 3`), "X-API-Key", "kc", http.StatusTooManyRequests)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(string(raw), "quota") {
+		t.Fatalf("quota rejection body does not say quota: %s", raw)
+	}
+
+	// slow's bucket holds one token: first compute submission passes,
+	// second is rate-limited.
+	postJobView(t, ts.URL, submitBody(`"CompressLatency": 4`), "ksl")
+	resp, raw = postJobAuth(t, ts.URL, submitBody(`"CompressLatency": 5`), "X-API-Key", "ksl", http.StatusTooManyRequests)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate 429 without Retry-After")
+	}
+	if !strings.Contains(string(raw), "rate") {
+		t.Fatalf("rate rejection body does not say rate: %s", raw)
+	}
+
+	// Per-tenant metrics are exported for both tenants.
+	metrics := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		`warpedd_tenant_queue_depth{tenant="capped"}`,
+		`warpedd_tenant_rejected_total{tenant="capped",reason="quota"} 1`,
+		`warpedd_tenant_rejected_total{tenant="slow",reason="rate"} 1`,
+		`warpedd_queue_fill`,
+		`warpedd_utilization`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	release()
+}
+
+// postJobView submits with an API key expecting 202 and returns the view.
+func postJobView(t *testing.T, url, body, key string) jobs.JobView {
+	t.Helper()
+	_, raw := postJobAuth(t, url, body, "X-API-Key", key, http.StatusAccepted)
+	var v jobs.JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("bad job JSON: %v; body: %s", err, raw)
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package store
+
+import "container/list"
+
+// Tracker is the byte-budget eviction policy shared by the disk store and
+// the jobs layer's in-memory trace store: least-recently-used entries are
+// evicted first once the running total exceeds the budget, and the entry
+// being admitted is never its own victim — a store must be able to hold at
+// least the result it just paid for, even when that single entry exceeds
+// the whole budget.
+//
+// Tracker only decides; it never touches entry data. Callers apply the
+// returned victim list to their own backing storage (delete files, drop
+// map entries) and account the reclaimed bytes themselves. It is not safe
+// for concurrent use; callers serialize access under their own mutex.
+type Tracker struct {
+	budget int64 // <= 0 means unlimited
+	total  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+type trackerItem struct {
+	key  string
+	size int64
+}
+
+// NewTracker builds a tracker enforcing budget bytes (<= 0 disables
+// eviction; the tracker still accounts sizes).
+func NewTracker(budget int64) *Tracker {
+	return &Tracker{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Add admits key at size (replacing any previous size for the same key),
+// marks it most recently used, and returns the keys that must be evicted —
+// least recently used first — to bring the total back within budget. The
+// returned keys are already removed from the tracker; the freshly added key
+// is never among them.
+func (t *Tracker) Add(key string, size int64) (evicted []string) {
+	if el, ok := t.items[key]; ok {
+		it := el.Value.(*trackerItem)
+		t.total += size - it.size
+		it.size = size
+		t.ll.MoveToFront(el)
+	} else {
+		t.items[key] = t.ll.PushFront(&trackerItem{key: key, size: size})
+		t.total += size
+	}
+	if t.budget <= 0 {
+		return nil
+	}
+	for t.total > t.budget && t.ll.Len() > 1 {
+		oldest := t.ll.Back()
+		it := oldest.Value.(*trackerItem)
+		if it.key == key {
+			break // never evict the entry being admitted
+		}
+		t.removeElement(oldest)
+		evicted = append(evicted, it.key)
+	}
+	return evicted
+}
+
+// Touch marks key most recently used; unknown keys are ignored.
+func (t *Tracker) Touch(key string) {
+	if el, ok := t.items[key]; ok {
+		t.ll.MoveToFront(el)
+	}
+}
+
+// Remove forgets key and returns the bytes it accounted for (0 when
+// unknown).
+func (t *Tracker) Remove(key string) int64 {
+	el, ok := t.items[key]
+	if !ok {
+		return 0
+	}
+	size := el.Value.(*trackerItem).size
+	t.removeElement(el)
+	return size
+}
+
+// Size reports the tracked size of key (0 when unknown).
+func (t *Tracker) Size(key string) int64 {
+	if el, ok := t.items[key]; ok {
+		return el.Value.(*trackerItem).size
+	}
+	return 0
+}
+
+// Has reports whether key is tracked.
+func (t *Tracker) Has(key string) bool {
+	_, ok := t.items[key]
+	return ok
+}
+
+// Keys returns every tracked key, least recently used first.
+func (t *Tracker) Keys() []string {
+	out := make([]string, 0, t.ll.Len())
+	for el := t.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*trackerItem).key)
+	}
+	return out
+}
+
+// Len is the number of tracked entries.
+func (t *Tracker) Len() int { return t.ll.Len() }
+
+// Bytes is the running size total.
+func (t *Tracker) Bytes() int64 { return t.total }
+
+// Budget is the configured byte budget (<= 0 means unlimited).
+func (t *Tracker) Budget() int64 { return t.budget }
+
+func (t *Tracker) removeElement(el *list.Element) {
+	it := el.Value.(*trackerItem)
+	t.ll.Remove(el)
+	delete(t.items, it.key)
+	t.total -= it.size
+}
