@@ -101,7 +101,7 @@ func runSweep(ctx context.Context, args []string) error {
 		concurrency = fs.Int("concurrency", 0, "max in-flight jobs across the cluster (0 = 4 per worker)")
 		attempts    = fs.Int("attempts", 3, "same-worker attempts before declaring it down")
 		timeout     = fs.Duration("timeout", 0, "overall sweep deadline (0 = none)")
-		apiKey      = fs.String("api-key", "", "tenant API key sent with every submission (WARPEDCTL_API_KEY env overrides empty)")
+		apiKey      = fs.String("api-key", "", "tenant API key sent with every request (WARPEDCTL_API_KEY env overrides empty)")
 		quiet       = fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	fs.Parse(args)

@@ -43,7 +43,17 @@ func workerDown(err error) error {
 // workers. It holds no per-worker state; the registry does.
 type apiClient struct {
 	http   *http.Client
-	apiKey string // sent as X-API-Key on submissions when non-empty
+	apiKey string // sent as X-API-Key on every job request when non-empty
+}
+
+// do sends req with the tenant API key attached. Workers running with a
+// tenant roster authenticate job reads and streams, not just submissions,
+// so every job-scoped request must carry the key.
+func (c *apiClient) do(req *http.Request) (*http.Response, error) {
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	return c.http.Do(req)
 }
 
 // submitRequest mirrors the server's POST /v1/jobs body.
@@ -73,10 +83,7 @@ func (c *apiClient) submit(ctx context.Context, worker, benchmark string, cfg si
 		return view, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if c.apiKey != "" {
-		req.Header.Set("X-API-Key", c.apiKey)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return view, workerDown(err)
 	}
@@ -103,7 +110,7 @@ func (c *apiClient) fetchJob(ctx context.Context, worker, id string) (jobs.JobVi
 	if err != nil {
 		return view, err
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return view, workerDown(err)
 	}
@@ -157,7 +164,7 @@ func (c *apiClient) stream(ctx context.Context, worker, id string, lastSeq int, 
 	if lastSeq >= 0 {
 		req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, lastSeq, workerDown(err)
 	}

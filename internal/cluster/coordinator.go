@@ -47,7 +47,7 @@ type Options struct {
 	// SSE streams are long-lived by design, and every request carries the
 	// sweep's context anyway.
 	Client *http.Client
-	// APIKey, when set, is sent as X-API-Key on every job submission, for
+	// APIKey, when set, is sent as X-API-Key on every job request, for
 	// fleets running with a -tenants roster.
 	APIKey string
 	// Progress, when set, receives coordinator events (calls serialized).

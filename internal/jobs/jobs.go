@@ -495,14 +495,10 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 		traces: newTraceStore(cfg.TraceStore, cfg.TraceStoreBytes),
 		store:  cfg.Store,
 	}
-	if m.store != nil {
-		// Refs minted after a restart must not collide with traces a
-		// previous process persisted: advance the counter past everything
-		// the disk store holds.
-		for _, ref := range m.store.Keys(store.NSTrace) {
-			m.traces.recoverRef(ref)
-		}
-	}
+	// Trace refs carry a per-process nonce, so recordings persisted by a
+	// previous process (or a live peer sharing the store directory) can
+	// never collide with refs this process mints — no startup scan needed;
+	// replays of old refs resolve through the disk store on demand.
 	m.eng = experiments.NewEngine(ctx, experiments.EngineConfig{
 		Parallelism:  cfg.Workers,
 		Scale:        cfg.Scale,
@@ -532,11 +528,12 @@ func (m *Manager) storeKey(benchmark, signature string) string {
 	return m.cfg.Scale.String() + "|" + key(benchmark, signature)
 }
 
-// loadStoredResultLocked probes the disk store for a completed result.
-// A payload that passes the store's CRC but no longer unmarshals is
-// quarantined and reported as a miss — degrade to recompute, never serve a
-// wrong result. Caller holds m.mu (the store's lock nests strictly inside).
-func (m *Manager) loadStoredResultLocked(benchmark, signature string) (*sim.Result, bool) {
+// loadStoredResult probes the disk store for a completed result. A payload
+// that passes the store's CRC but no longer unmarshals is quarantined and
+// reported as a miss — degrade to recompute, never serve a wrong result.
+// Called WITHOUT m.mu held: this is disk I/O, and a submission that misses
+// the memory cache must not stall every other manager operation behind it.
+func (m *Manager) loadStoredResult(benchmark, signature string) (*sim.Result, bool) {
 	data, ok := m.store.Get(store.NSResult, m.storeKey(benchmark, signature))
 	if !ok {
 		return nil, false
@@ -549,13 +546,14 @@ func (m *Manager) loadStoredResultLocked(benchmark, signature string) (*sim.Resu
 	return res, true
 }
 
-// loadStoredTraceLocked probes the disk store for a recorded trace and, on
-// success, re-admits it to the in-memory trace store under its original
-// ref. Undecodable blobs are quarantined. Caller holds m.mu.
-func (m *Manager) loadStoredTraceLocked(ref string) (*storedTrace, bool) {
+// loadStoredTrace probes the disk store for a recorded trace, returning
+// the launch and the benchmark it was recorded from. Undecodable blobs are
+// quarantined. Called WITHOUT m.mu held; the caller re-admits the trace to
+// the in-memory store under the lock.
+func (m *Manager) loadStoredTrace(ref string) (*exectrace.Launch, string, bool) {
 	data, ok := m.store.Get(store.NSTrace, ref)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	tr, err := exectrace.Read(bytes.NewReader(data))
 	if err == nil && len(tr.Launches) != 1 {
@@ -563,10 +561,9 @@ func (m *Manager) loadStoredTraceLocked(ref string) (*storedTrace, bool) {
 	}
 	if err != nil {
 		m.store.Quarantine(store.NSTrace, ref, err)
-		return nil, false
+		return nil, "", false
 	}
-	m.traces.insert(ref, tr.Meta.Benchmark, tr.Launches[0])
-	return m.traces.get(ref)
+	return tr.Launches[0], tr.Meta.Benchmark, true
 }
 
 // persistResult writes one completed result through to the disk store.
@@ -673,8 +670,21 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 		st, ok := m.traces.get(req.TraceRef)
 		if !ok && m.store != nil {
 			// The ref may have been recorded by a previous process (or
-			// evicted from memory): fall back to the disk store.
-			st, ok = m.loadStoredTraceLocked(req.TraceRef)
+			// evicted from memory): fall back to the disk store. The probe
+			// is disk I/O, so m.mu is dropped around it; the draining check
+			// is repeated after re-locking (see below).
+			m.mu.Unlock()
+			lt, bench, loaded := m.loadStoredTrace(req.TraceRef)
+			m.mu.Lock()
+			if m.draining {
+				m.rejectedDraining++
+				m.mu.Unlock()
+				return nil, ErrDraining
+			}
+			if loaded {
+				m.traces.insert(req.TraceRef, bench, lt)
+			}
+			st, ok = m.traces.get(req.TraceRef)
 		}
 		if !ok {
 			m.mu.Unlock()
@@ -695,52 +705,55 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 	if mode != ModeRecord {
 		if res, hit := m.cache.get(k); hit {
 			m.cacheHits++
-			job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
-			job.Tenant = tenant.viewName
-			job.state = StateDone
-			job.cached = true
-			job.result = res
-			job.finished = job.created
-			job.events = []Event{{Kind: "cache-hit", Cycles: res.Cycles}}
-			m.jobs[job.ID] = job
-			m.retainLocked(job)
+			job := m.servedJobLocked(benchmark, signature, cfg, mode, req.TraceRef, tenant.viewName, "cache-hit", res)
 			m.mu.Unlock()
 			return job, nil
 		}
 		m.cacheMisses++
 		if m.store != nil {
-			if res, ok := m.loadStoredResultLocked(benchmark, signature); ok {
+			// Disk probe outside m.mu: a store read (or a quarantine rename
+			// on a corrupt entry) must not stall submissions, job completion
+			// and stats behind disk latency.
+			m.mu.Unlock()
+			res, ok := m.loadStoredResult(benchmark, signature)
+			m.mu.Lock()
+			if m.draining {
+				m.rejectedDraining++
+				m.mu.Unlock()
+				return nil, ErrDraining
+			}
+			if cres, hit := m.cache.get(k); hit {
+				// An identical submission finished while we probed the disk.
+				m.cacheHits++
+				job := m.servedJobLocked(benchmark, signature, cfg, mode, req.TraceRef, tenant.viewName, "cache-hit", cres)
+				m.mu.Unlock()
+				return job, nil
+			}
+			if ok {
 				m.storeHits++
 				m.cache.add(k, res) // promote: the next identical submit is a memory hit
-				job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
-				job.Tenant = tenant.viewName
-				job.state = StateDone
-				job.cached = true
-				job.result = res
-				job.finished = job.created
-				job.events = []Event{{Kind: "store-hit", Cycles: res.Cycles}}
-				m.jobs[job.ID] = job
-				m.retainLocked(job)
+				job := m.servedJobLocked(benchmark, signature, cfg, mode, req.TraceRef, tenant.viewName, "store-hit", res)
 				m.mu.Unlock()
 				return job, nil
 			}
 		}
 	}
-	// From here the submission will consume a worker, so it is charged
-	// against the tenant's rate. Cache and store hits above are free:
-	// re-reading a result the fleet already paid for is not load.
-	if !m.fq.allowRate(tenant) {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("tenant %q: %w", tenant.spec.Name, ErrRateLimited)
-	}
+	// From here the submission will consume a worker. Admission is one
+	// atomic check: global depth, tenant quota, then the tenant's rate —
+	// in that order, so a submission into a full queue is never charged a
+	// rate token for work that was not admitted. Cache and store hits
+	// above are free: re-reading a result the fleet already paid for is
+	// not load.
 	job := m.newJobLocked(benchmark, signature, cfg, mode, req.TraceRef)
 	job.Tenant = tenant.viewName
 	job.state = StateQueued
 	job.events = []Event{{Kind: "queued"}}
 	m.pending.Add(1)
-	if err := m.fq.push(tenant, task{job: job, bench: b, cfg: cfg, launch: launch}); err != nil {
+	if err := m.fq.admit(tenant, task{job: job, bench: b, cfg: cfg, launch: launch}); err != nil {
 		m.pending.Done()
-		m.rejectedFull++
+		if !errors.Is(err, ErrRateLimited) {
+			m.rejectedFull++
+		}
 		m.mu.Unlock()
 		return nil, err
 	}
@@ -749,6 +762,22 @@ func (m *Manager) SubmitRequest(req Request) (*Job, error) {
 	m.jobs[job.ID] = job
 	m.mu.Unlock()
 	return job, nil
+}
+
+// servedJobLocked registers a job that is already complete at submission —
+// a cache or store hit — with the event kind naming which layer served it.
+// Caller holds m.mu.
+func (m *Manager) servedJobLocked(benchmark, signature string, cfg sim.Config, mode Mode, traceRef, tenantView, kind string, res *sim.Result) *Job {
+	job := m.newJobLocked(benchmark, signature, cfg, mode, traceRef)
+	job.Tenant = tenantView
+	job.state = StateDone
+	job.cached = true
+	job.result = res
+	job.finished = job.created
+	job.events = []Event{{Kind: kind, Cycles: res.Cycles}}
+	m.jobs[job.ID] = job
+	m.retainLocked(job)
+	return job
 }
 
 // newJobLocked allocates a job (caller holds m.mu for the ID counter).
@@ -1013,8 +1042,8 @@ func (m *Manager) unfinishedLocked() []*Job {
 
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
-	// Snapshot the disk store outside m.mu: its counters live behind its
-	// own lock, which nests inside m.mu on the submit path.
+	// Snapshot the disk store before taking m.mu: its counters live behind
+	// the store's own lock, and the two are never held together.
 	var ss store.Stats
 	enabled := m.store != nil
 	if enabled {

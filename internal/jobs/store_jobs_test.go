@@ -245,6 +245,55 @@ func TestTraceRefSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestTraceRefsUniqueAcrossProcesses: two live managers writing through to
+// one shared store directory (the multi-worker deployment) must never mint
+// the same trace ref — a collision would let one worker's recording
+// silently overwrite the other's, and a later replay would run the wrong
+// trace. Refs carry a per-process nonce precisely to rule this out.
+func TestTraceRefsUniqueAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	m1 := newManager(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8, Store: openStore(t, dir)})
+	m2 := newManager(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8, Store: openStore(t, dir)})
+
+	// The identical submission on both managers: under a shared counter
+	// scheme both would mint the first ref.
+	j1, err := m1.SubmitRequest(jobs.Request{Benchmark: "zz-hold", Config: testConfig(), Mode: jobs.ModeRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m2.SubmitRequest(jobs.Request{Benchmark: "zz-hold", Config: testConfig(), Mode: jobs.ModeRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	waitDone(t, j2)
+	ref1, ref2 := j1.TraceRef(), j2.TraceRef()
+	if ref1 == "" || ref2 == "" {
+		t.Fatalf("missing refs: %q, %q", ref1, ref2)
+	}
+	if ref1 == ref2 {
+		t.Fatalf("both processes minted ref %s; recordings overwrite each other in the shared store", ref1)
+	}
+	if err := m1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	m2.Close()
+
+	// Both recordings survived side by side: a third process replays each.
+	m3 := newManager(t, jobs.Config{Workers: 2, QueueDepth: 8, CacheSize: 8, Store: openStore(t, dir)})
+	for _, ref := range []string{ref1, ref2} {
+		rep, err := m3.SubmitRequest(jobs.Request{Config: testConfig(), Mode: jobs.ModeReplay, TraceRef: ref})
+		if err != nil {
+			t.Fatalf("replay of %s from shared store: %v", ref, err)
+		}
+		waitDone(t, rep)
+	}
+}
+
 // TestTraceStoreByteBudget: the in-memory trace store enforces the byte
 // budget with the same LRU policy as the disk store — older recordings are
 // evicted and counted, and replaying an evicted ref without a disk store

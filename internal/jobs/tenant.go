@@ -213,12 +213,11 @@ func (fq *fairQueue) tenantByName(name string) (*tenantState, bool) {
 	return ts, ok
 }
 
-// allowRate spends one token from the tenant's bucket, refilling it from
-// wall time first. Callers invoke it only for submissions that will consume
-// a worker — cache and store hits are never charged.
-func (fq *fairQueue) allowRate(ts *tenantState) bool {
-	fq.mu.Lock()
-	defer fq.mu.Unlock()
+// allowRateLocked spends one token from the tenant's bucket, refilling it
+// from wall time first. Caller holds fq.mu. It is invoked only for
+// submissions that will consume a worker — cache and store hits are never
+// charged.
+func (fq *fairQueue) allowRateLocked(ts *tenantState) bool {
 	if ts.spec.RatePerSec <= 0 {
 		return true
 	}
@@ -236,9 +235,35 @@ func (fq *fairQueue) allowRate(ts *tenantState) bool {
 	return true
 }
 
+// admit performs every admission check and the enqueue in one critical
+// section: global depth first (the fleet is full: ErrQueueFull), tenant
+// quota second (only this tenant is over: ErrTenantQueueFull), the
+// tenant's rate last — so a submission refused for congestion never
+// spends a rate token it got nothing for.
+func (fq *fairQueue) admit(ts *tenantState, t task) error {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.closed {
+		return ErrDraining
+	}
+	if fq.size >= fq.depth {
+		return ErrQueueFull
+	}
+	if ts.spec.MaxQueued > 0 && len(ts.queue) >= ts.spec.MaxQueued {
+		ts.rejectedQuota++
+		return fmt.Errorf("tenant %q: %w", ts.spec.Name, ErrTenantQueueFull)
+	}
+	if !fq.allowRateLocked(ts) {
+		return fmt.Errorf("tenant %q: %w", ts.spec.Name, ErrRateLimited)
+	}
+	fq.pushLocked(ts, t)
+	return nil
+}
+
 // push enqueues one task for ts, enforcing the global depth first (the
 // fleet is full: ErrQueueFull) and the tenant quota second (only this
-// tenant is over: ErrTenantQueueFull).
+// tenant is over: ErrTenantQueueFull). It is admit without the rate
+// charge; tests drive the queue through it.
 func (fq *fairQueue) push(ts *tenantState, t task) error {
 	fq.mu.Lock()
 	defer fq.mu.Unlock()
@@ -252,11 +277,17 @@ func (fq *fairQueue) push(ts *tenantState, t task) error {
 		ts.rejectedQuota++
 		return fmt.Errorf("tenant %q: %w", ts.spec.Name, ErrTenantQueueFull)
 	}
+	fq.pushLocked(ts, t)
+	return nil
+}
+
+// pushLocked appends the task and wakes a worker. Caller holds fq.mu and
+// has already passed the admission checks.
+func (fq *fairQueue) pushLocked(ts *tenantState, t task) {
 	ts.queue = append(ts.queue, t)
 	ts.submitted++
 	fq.size++
 	fq.cond.Signal()
-	return nil
 }
 
 // next blocks until a task is available and returns it, choosing among

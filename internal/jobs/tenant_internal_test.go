@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -93,6 +94,61 @@ func TestFairQueueCloseDrains(t *testing.T) {
 	}
 	if _, ok := fq.next(); ok {
 		t.Fatal("next returned a task from an empty closed queue")
+	}
+}
+
+// TestAdmitDoesNotChargeRateOnCongestion: a submission refused for queue
+// depth or tenant quota must not spend a rate token — otherwise a tenant
+// pushing into a congested queue drains its rate budget on work that was
+// never admitted, and its 429s compound.
+func TestAdmitDoesNotChargeRateOnCongestion(t *testing.T) {
+	fq := newFairQueue(1, []Tenant{
+		{Name: "filler"},
+		// A refill rate of ~0 makes the single burst token the entire
+		// budget for the test's lifetime.
+		{Name: "limited", RatePerSec: 1e-9, Burst: 1},
+	})
+	filler, _ := fq.tenantByName("filler")
+	limited, _ := fq.tenantByName("limited")
+
+	if err := fq.admit(filler, fqTask("fill")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.admit(limited, fqTask("x")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admit into a full queue: err = %v, want ErrQueueFull", err)
+	}
+	if _, ok := fq.next(); !ok {
+		t.Fatal("queue did not hand back the filler task")
+	}
+	// The rejected submission must not have cost the token.
+	if err := fq.admit(limited, fqTask("x2")); err != nil {
+		t.Fatalf("post-congestion admit: %v (rate token was charged for rejected work)", err)
+	}
+	if _, ok := fq.next(); !ok {
+		t.Fatal("queue did not hand back the admitted task")
+	}
+	// The token is now genuinely spent; with the queue drained again, this
+	// failure is the rate limiter's.
+	if err := fq.admit(limited, fqTask("x3")); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("exhausted bucket: err = %v, want ErrRateLimited", err)
+	}
+}
+
+// TestAdmitQuotaBeforeRate: the tenant queue quota is enforced before the
+// rate charge, so hitting MaxQueued leaves the bucket untouched.
+func TestAdmitQuotaBeforeRate(t *testing.T) {
+	fq := newFairQueue(10, []Tenant{
+		{Name: "a", MaxQueued: 1, RatePerSec: 1e-9, Burst: 2},
+	})
+	a, _ := fq.tenantByName("a")
+	if err := fq.admit(a, fqTask("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fq.admit(a, fqTask("two")); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("over-quota admit: err = %v, want ErrTenantQueueFull", err)
+	}
+	if a.tokens != 1 {
+		t.Fatalf("tokens = %v after a quota rejection, want 1 (untouched)", a.tokens)
 	}
 }
 

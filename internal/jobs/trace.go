@@ -1,7 +1,11 @@
 package jobs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/exectrace"
 	"repro/internal/store"
@@ -62,15 +66,22 @@ type storedTrace struct {
 	launch    *exectrace.Launch
 }
 
-// traceStore retains recorded traces under monotonic refs ("trace-000001"),
-// bounded two ways: an entry-count cap and a byte budget over the traces'
-// resident memory (Launch.MemBytes), both enforced least-recently-used
-// first via the same store.Tracker policy the disk store uses. It is not
-// safe for concurrent use; the Manager serializes access under its mutex.
+// traceStore retains recorded traces under refs of the form
+// "trace-<nonce>-000001": a per-process random nonce plus a monotonic
+// counter. The nonce is what makes refs collision-free across processes —
+// many workers may write through to one shared disk store directory with
+// no coordination, and two of them minting the same ref would silently
+// overwrite each other's recordings (and later replay the wrong one).
+// Entries are bounded two ways: an entry-count cap and a byte budget over
+// the traces' resident memory (Launch.MemBytes), both enforced
+// least-recently-used first via the same store.Tracker policy the disk
+// store uses. It is not safe for concurrent use; the Manager serializes
+// access under its mutex.
 type traceStore struct {
 	maxEntries int
 	tracker    *store.Tracker
 	entries    map[string]*storedTrace
+	nonce      string
 	nextRef    uint64
 
 	stored, evictions uint64
@@ -82,14 +93,26 @@ func newTraceStore(maxEntries int, budgetBytes int64) *traceStore {
 		maxEntries: maxEntries,
 		tracker:    store.NewTracker(budgetBytes),
 		entries:    make(map[string]*storedTrace),
+		nonce:      refNonce(),
 	}
 }
 
-// add retains a freshly recorded trace under the next monotonic ref and
-// returns it.
+// refNonce draws the per-process random component of minted trace refs.
+// crypto/rand failing is about as plausible as the 64-bit collision the
+// pid+time fallback would reintroduce, but never mint predictable refs
+// silently.
+func refNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%x-%x", os.Getpid(), time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// add retains a freshly recorded trace under the next ref and returns it.
 func (s *traceStore) add(benchmark string, lt *exectrace.Launch) string {
 	s.nextRef++
-	ref := fmt.Sprintf("trace-%06d", s.nextRef)
+	ref := fmt.Sprintf("trace-%s-%06d", s.nonce, s.nextRef)
 	s.stored++
 	s.insert(ref, benchmark, lt)
 	return ref
@@ -130,16 +153,6 @@ func (s *traceStore) get(ref string) (*storedTrace, bool) {
 		s.tracker.Touch(ref)
 	}
 	return st, ok
-}
-
-// recoverRef advances the ref counter past a ref found in the disk store at
-// startup, so refs minted after a restart never collide with traces a
-// previous process persisted.
-func (s *traceStore) recoverRef(ref string) {
-	var n uint64
-	if _, err := fmt.Sscanf(ref, "trace-%d", &n); err == nil && n > s.nextRef {
-		s.nextRef = n
-	}
 }
 
 func (s *traceStore) len() int     { return len(s.entries) }

@@ -14,6 +14,11 @@
 //	GET  /v1/cluster/info    worker identity for the cluster coordinator
 //	GET  /metrics            Prometheus text exposition
 //	GET  /healthz            liveness    GET /readyz  readiness (503 while draining)
+//
+// With a tenant roster configured (-tenants), every /v1/jobs endpoint —
+// submit, read, and stream — requires a tenant API key, and reads are
+// scoped to the caller's tenant; the operational endpoints stay open.
+// See DESIGN.md §16.
 package server
 
 import (
@@ -135,6 +140,29 @@ func apiKey(r *http.Request) string {
 	return ""
 }
 
+// authorize resolves the request's API key to its tenant name, writing the
+// 401 challenge itself on failure. In single-tenant mode every request
+// (keyed or not) succeeds as the default tenant; with a tenant roster
+// configured it gates reads as well as submissions — job configs, results
+// and trace refs are tenant data, so tenancy must bound who can see them,
+// not just who can queue work.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tenant, err := s.mgr.ResolveAPIKey(apiKey(r))
+	if err != nil {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="warpedd"`)
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return "", false
+	}
+	return tenant, true
+}
+
+// canView reports whether tenant may read job: every job in single-tenant
+// mode, only its own otherwise. Callers answer a cross-tenant probe with
+// the same 404 as a never-issued ID, so job existence is not an oracle.
+func (s *Server) canView(job *jobs.Job, tenant string) bool {
+	return !s.mgr.MultiTenant() || job.Tenant == tenant
+}
+
 // apiError is the JSON error envelope every non-2xx response uses.
 type apiError struct {
 	Error string `json:"error"`
@@ -202,10 +230,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	tenant, err := s.mgr.ResolveAPIKey(apiKey(r))
-	if err != nil {
-		w.Header().Set("WWW-Authenticate", `Bearer realm="warpedd"`)
-		writeError(w, http.StatusUnauthorized, "%v", err)
+	tenant, ok := s.authorize(w, r)
+	if !ok {
 		return
 	}
 
@@ -248,8 +274,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.mgr.Get(r.PathValue("id"))
+	tenant, ok := s.authorize(w, r)
 	if !ok {
+		return
+	}
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok || !s.canView(job, tenant) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
@@ -257,9 +287,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	views := s.mgr.Jobs()
+	if s.mgr.MultiTenant() {
+		scoped := make([]jobs.JobView, 0, len(views))
+		for _, v := range views {
+			if v.Tenant == tenant {
+				scoped = append(scoped, v)
+			}
+		}
+		views = scoped
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Jobs []jobs.JobView `json:"jobs"`
-	}{Jobs: s.mgr.Jobs()})
+	}{Jobs: views})
 }
 
 // benchmarkInfo is one entry of GET /v1/benchmarks.

@@ -37,8 +37,12 @@ const defaultSSEKeepAlive = 15 * time.Second
 // it has already seen is replayed, nothing in between is lost. Idle
 // streams emit a `: keep-alive` comment periodically.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.mgr.Get(r.PathValue("id"))
+	tenant, ok := s.authorize(w, r)
 	if !ok {
+		return
+	}
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok || !s.canView(job, tenant) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}

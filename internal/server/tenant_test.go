@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/jobs"
 )
@@ -34,10 +35,34 @@ func postJobAuth(t *testing.T, url, body string, header, value string, wantCode 
 	return resp, raw
 }
 
+// getAuth GETs path with an optional API key and asserts the status,
+// returning the body.
+func getAuth(t *testing.T, url, path, key string, wantCode int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s (key %q) = %d, want %d; body: %s", path, key, resp.StatusCode, wantCode, raw)
+	}
+	return raw
+}
+
 // TestAPIKeyAuth: with a tenant roster, submissions need a valid key —
 // missing and wrong keys get 401 with a WWW-Authenticate challenge, valid
 // keys get in and the job view names the tenant. Both X-API-Key and
-// Authorization: Bearer work. Reads stay open.
+// Authorization: Bearer work. Reads are gated too: job data is tenant
+// data, so listings are scoped to the caller and cross-tenant probes 404.
 func TestAPIKeyAuth(t *testing.T) {
 	_, ts := newServer(t, jobs.Config{
 		Workers: 2, QueueDepth: 8, CacheSize: 8,
@@ -50,25 +75,38 @@ func TestAPIKeyAuth(t *testing.T) {
 	}
 	postJobAuth(t, ts.URL, submitBody(""), "X-API-Key", "nope", http.StatusUnauthorized)
 
-	if v := postJobView(t, ts.URL, submitBody(""), "ka"); v.Tenant != "alice" {
-		t.Fatalf("accepted view tenant = %q, want alice", v.Tenant)
+	va := postJobView(t, ts.URL, submitBody(""), "ka")
+	if va.Tenant != "alice" {
+		t.Fatalf("accepted view tenant = %q, want alice", va.Tenant)
 	}
 	_, raw := postJobAuth(t, ts.URL, submitBody(`"CompressLatency": 5`), "Authorization", "Bearer kb", http.StatusAccepted)
-	var v jobs.JobView
-	if err := json.Unmarshal(raw, &v); err != nil || v.Tenant != "bob" {
-		t.Fatalf("bearer-auth view tenant = %q (%v), want bob", v.Tenant, err)
+	var vb jobs.JobView
+	if err := json.Unmarshal(raw, &vb); err != nil || vb.Tenant != "bob" {
+		t.Fatalf("bearer-auth view tenant = %q (%v), want bob", vb.Tenant, err)
 	}
 
-	// Read endpoints don't require a key: results aren't tenant secrets,
-	// and the cluster coordinator polls them unauthenticated.
-	st, err := http.Get(ts.URL + "/v1/jobs")
-	if err != nil {
+	// Reads require a key: every tenant's configs, results and trace refs
+	// would otherwise be world-readable.
+	getAuth(t, ts.URL, "/v1/jobs", "", http.StatusUnauthorized)
+	getAuth(t, ts.URL, "/v1/jobs/"+va.ID, "", http.StatusUnauthorized)
+	getAuth(t, ts.URL, "/v1/jobs/"+va.ID+"/events", "nope", http.StatusUnauthorized)
+
+	// Listings are scoped to the caller's tenant.
+	var list struct {
+		Jobs []jobs.JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(getAuth(t, ts.URL, "/v1/jobs", "ka", http.StatusOK), &list); err != nil {
 		t.Fatal(err)
 	}
-	st.Body.Close()
-	if st.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/jobs with no key = %d, want 200", st.StatusCode)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != va.ID {
+		t.Fatalf("alice's listing = %+v, want exactly her job %s", list.Jobs, va.ID)
 	}
+
+	// Own job reads work; a cross-tenant probe gets the same 404 as a
+	// never-issued ID, so job existence is not an oracle.
+	getAuth(t, ts.URL, "/v1/jobs/"+va.ID, "ka", http.StatusOK)
+	getAuth(t, ts.URL, "/v1/jobs/"+vb.ID, "ka", http.StatusNotFound)
+	getAuth(t, ts.URL, "/v1/jobs/"+vb.ID+"/events", "kb", http.StatusOK)
 }
 
 // TestSingleTenantStaysOpen: without a roster the API is unauthenticated
@@ -94,7 +132,7 @@ func TestTenantLimitsOverHTTP(t *testing.T) {
 	})
 	// Worker is held by the first job; the second fills capped's quota.
 	v := postJobView(t, ts.URL, submitBody(""), "kc")
-	waitJobState(t, ts, v.ID, jobs.StateRunning)
+	waitJobStateAuth(t, ts.URL, v.ID, "kc", jobs.StateRunning)
 	postJobView(t, ts.URL, submitBody(`"CompressLatency": 2`), "kc")
 	resp, raw := postJobAuth(t, ts.URL, submitBody(`"CompressLatency": 3`), "X-API-Key", "kc", http.StatusTooManyRequests)
 	if resp.Header.Get("Retry-After") == "" {
@@ -129,6 +167,27 @@ func TestTenantLimitsOverHTTP(t *testing.T) {
 		}
 	}
 	release()
+}
+
+// waitJobStateAuth polls an authenticated job read until the job reaches
+// the wanted state.
+func waitJobStateAuth(t *testing.T, url, id, key string, want jobs.State) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var v jobs.JobView
+		if err := json.Unmarshal(getAuth(t, url, "/v1/jobs/"+id, key, http.StatusOK), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == want {
+			return
+		}
+		if want != jobs.StateFailed && v.State == jobs.StateFailed {
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
 }
 
 // postJobView submits with an API key expecting 202 and returns the view.

@@ -31,8 +31,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -102,6 +104,12 @@ type Store struct {
 	dir  string
 	opts Options
 
+	// mu guards only the tracker index and the counters. File I/O (reads,
+	// the write/fsync/rename dance, eviction unlinks, quarantine moves)
+	// happens outside it, so a slow disk never serializes every caller
+	// behind one fsync. The file operations themselves are safe unlocked:
+	// tmp names are process-unique, renames are atomic, and concurrent
+	// writers to one key are last-rename-wins.
 	mu      sync.Mutex
 	tracker *Tracker
 
@@ -196,11 +204,13 @@ func (s *Store) loadIndex() error {
 		}
 		return entries[i].key < entries[j].key // deterministic tie-break
 	})
+	var victims []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, e := range entries {
-		s.admitLocked(e.ns, e.key, e.size)
+		victims = append(victims, s.tracker.Add(trackerKey(e.ns, e.key), e.size)...)
 	}
+	s.mu.Unlock()
+	s.evict(victims)
 	return nil
 }
 
@@ -214,8 +224,15 @@ func readHeader(path string, fileSize int64) (entryHeader, error) {
 		return hdr, err
 	}
 	defer f.Close()
+	// ReadFull, not a bare Read: a legal short read (interrupted syscall)
+	// must not make a sound entry look header-truncated and get it
+	// spuriously quarantined. EOF before the buffer fills just means the
+	// file is smaller than headerLimit, which is the common case.
 	head := make([]byte, headerLimit)
-	n, _ := f.Read(head)
+	n, err := io.ReadFull(f, head)
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return hdr, err
+	}
 	head = head[:n]
 	hdr, headerLen, err := parseHeader(head)
 	if err != nil {
@@ -338,15 +355,14 @@ func (s *Store) Get(ns, key string) ([]byte, bool) {
 	if err := validNamespace(ns); err != nil {
 		return nil, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	path := s.entryPath(ns, key)
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(s.entryPath(ns, key))
 	if err != nil {
 		// Not on disk (never written, GC'd here, or GC'd by a peer
 		// process sharing the directory): a plain miss.
+		s.mu.Lock()
 		s.tracker.Remove(trackerKey(ns, key))
 		s.misses++
+		s.mu.Unlock()
 		return nil, false
 	}
 	hdr, payload, derr := decodeEntry(data)
@@ -354,14 +370,19 @@ func (s *Store) Get(ns, key string) ([]byte, bool) {
 		if derr == nil {
 			derr = fmt.Errorf("entry header names %s/%q, want %s/%q", hdr.Namespace, hdr.Key, ns, key)
 		}
-		s.quarantineLocked(ns, key, derr)
+		s.quarantine(ns, key, derr)
+		s.mu.Lock()
 		s.misses++
+		s.mu.Unlock()
 		return nil, false
 	}
 	// A hit may be the first sighting of an entry a peer process wrote;
 	// admit it so the byte budget accounts for it.
-	s.admitLocked(ns, key, int64(len(data)))
+	s.mu.Lock()
+	victims := s.tracker.Add(trackerKey(ns, key), int64(len(data)))
 	s.hits++
+	s.mu.Unlock()
+	s.evict(victims)
 	return payload, true
 }
 
@@ -382,19 +403,25 @@ func (s *Store) Put(ns, key string, payload []byte) error {
 		return fmt.Errorf("store: encode %s/%s: %w", ns, key, err)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.writeEntryLocked(ns, key, data); err != nil {
+	if err := s.writeEntry(ns, key, data); err != nil {
+		s.mu.Lock()
 		s.writeErrors++
+		s.mu.Unlock()
 		return err
 	}
+	s.mu.Lock()
 	s.writes++
-	s.admitLocked(ns, key, int64(len(data)))
+	victims := s.tracker.Add(trackerKey(ns, key), int64(len(data)))
+	s.mu.Unlock()
+	s.evict(victims)
 	return nil
 }
 
-// writeEntryLocked performs the atomic tmp → rename → dir-fsync dance.
-func (s *Store) writeEntryLocked(ns, key string, data []byte) error {
+// writeEntry performs the atomic tmp → rename → dir-fsync dance. It runs
+// without s.mu: the tmp name is process-unique (pid + atomic sequence), the
+// rename is atomic, and two concurrent writers to one key resolve as
+// last-rename-wins — so the slow part (fsync) never blocks readers.
+func (s *Store) writeEntry(ns, key string, data []byte) error {
 	nsDir := filepath.Join(s.dir, ns)
 	if err := os.MkdirAll(nsDir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -438,10 +465,11 @@ func syncDir(dir string) error {
 	return err
 }
 
-// admitLocked registers (or refreshes) an entry in the tracker and applies
-// the byte budget, deleting evicted entries from disk.
-func (s *Store) admitLocked(ns, key string, size int64) {
-	for _, victim := range s.tracker.Add(trackerKey(ns, key), size) {
+// evict deletes budget victims (tracker keys already removed from the
+// index) from disk and accounts the reclaimed bytes. Called without s.mu —
+// eviction is file I/O.
+func (s *Store) evict(victims []string) {
+	for _, victim := range victims {
 		vns, vkey := splitTrackerKey(victim)
 		vpath := s.entryPath(vns, vkey)
 		var reclaimed int64
@@ -452,8 +480,10 @@ func (s *Store) admitLocked(ns, key string, size int64) {
 			s.logf("store: evicting %s/%s: %v", vns, vkey, err)
 			continue
 		}
+		s.mu.Lock()
 		s.evicted++
 		s.evictedBytes += uint64(reclaimed)
+		s.mu.Unlock()
 		s.logf("store: evicted %s/%s (%d bytes) under budget pressure", vns, vkey, reclaimed)
 	}
 }
@@ -466,16 +496,17 @@ func (s *Store) Quarantine(ns, key string, cause error) {
 	if validNamespace(ns) != nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quarantineLocked(ns, key, cause)
+	s.quarantine(ns, key, cause)
 }
 
-func (s *Store) quarantineLocked(ns, key string, cause error) {
+// quarantine drops the entry from the index and counts it under s.mu, then
+// moves the file aside outside the lock.
+func (s *Store) quarantine(ns, key string, cause error) {
+	s.mu.Lock()
 	s.tracker.Remove(trackerKey(ns, key))
-	path := s.entryPath(ns, key)
-	s.moveToQuarantine(path, cause)
 	s.quarantined++
+	s.mu.Unlock()
+	s.moveToQuarantine(s.entryPath(ns, key), cause)
 }
 
 // moveToQuarantine moves a damaged file into quarantine/ for post-mortem,
