@@ -13,10 +13,14 @@ test:
 # parser-shaped surfaces (assembler, BDI codec, fault injector, the
 # warped.trace/v1 wire reader) plus the record/replay determinism oracle.
 # The parallel experiment engine is exercised concurrently by its own
-# tests, so -race is load-bearing here, not ceremonial.
+# tests, so -race is load-bearing here, not ceremonial. The second sim
+# pass re-runs the whole package with the SM loop sharded four ways
+# (DESIGN.md §17) — every golden and oracle must still hold, and -race
+# sweeps the shard workers' actual memory accesses.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	WARPED_TEST_SM_PARALLEL=4 $(GO) test -race ./internal/sim/...
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=3s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzBDIRoundTrip -fuzztime=3s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
@@ -29,7 +33,7 @@ verify:
 # leaves two timestamped artifacts in the repo root:
 #   BENCH_<stamp>.txt   benchstat-comparable text (benchstat old.txt new.txt)
 #   BENCH_<stamp>.json  machine-readable warped.bench/v1 trajectory document
-BENCH ?= SimulatorThroughput|BDI|RegfileAccess
+BENCH ?= SimulatorThroughput|BDI|RegfileAccess|GPUCycleSharded
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)

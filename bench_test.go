@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"testing"
@@ -384,4 +385,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkGPUCycleSharded measures the epoch-barrier cycle loop on the
+// full 15-SM device at 1, 4 and 8 SM shards. Results are byte-identical
+// across the sub-benchmarks; only wall clock should move. Compare with
+// benchstat — on a multi-core machine 8 shards should run the cycle loop
+// several times faster than 1. ReportAllocs guards the zero-allocation
+// steady state of the sharded step (commit logs and overlays are pooled).
+func BenchmarkGPUCycleSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := warped.DefaultConfig()
+				cfg.SMParallel = shards
+				gpu, err := warped.NewGPU(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bench, _ := warped.BenchmarkByName("pathfinder")
+				inst, err := bench.Build(gpu.Mem(), warped.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gpu.Run(inst.Launch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
 }

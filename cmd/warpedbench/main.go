@@ -36,6 +36,7 @@ func main() {
 		out      = flag.String("o", "", "write output to file instead of stdout")
 		format   = flag.String("format", "text", "output format: text or csv")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		smPar    = flag.Int("sm-parallel", 0, "SM-loop shards per simulation (0 = auto: CPUs/parallelism); results are byte-identical at every count")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
 		backoff  = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling each retry (default 100ms)")
@@ -72,6 +73,7 @@ func main() {
 
 	opts := []warped.ExperimentOption{
 		warped.WithParallelism(*parallel),
+		warped.WithSMParallel(*smPar),
 		warped.WithRetries(*retries),
 		warped.WithWatchdog(*watchdog),
 	}

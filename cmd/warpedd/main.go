@@ -81,6 +81,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8077", "listen address")
 		parallel = flag.Int("parallel", 0, "worker pool size and max concurrent simulations (0 = one per CPU)")
+		smPar    = flag.Int("sm-parallel", 0, "SM-loop shards per simulation (0 = auto: CPUs/workers); results are byte-identical at every count")
 		queue    = flag.Int("queue", 64, "admission queue depth; submissions beyond it get 429")
 		cache    = flag.Int("cache", 1024, "result cache size in entries (0 disables caching)")
 		retain   = flag.Int("retain", 1024, "finished jobs kept queryable before the oldest are forgotten")
@@ -147,6 +148,7 @@ func main() {
 
 	mgr := jobs.NewManager(context.Background(), jobs.Config{
 		Workers:         *parallel,
+		SMParallel:      *smPar,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		RetainJobs:      *retain,

@@ -103,6 +103,7 @@ func main() {
 		out      = flag.String("o", "", "write the report to a file instead of stdout")
 		full     = flag.Bool("tables", false, "append the full per-benchmark tables after the summary")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+	smPar    = flag.Int("sm-parallel", 0, "SM-loop shards per simulation (0 = auto: CPUs/parallelism); results are byte-identical at every count")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		retries  = flag.Int("retries", 0, "extra attempts per job after a transient failure")
 		watchdog = flag.Duration("watchdog", 0, "cancel a simulation making no progress for this long (0 = off)")
@@ -126,6 +127,7 @@ func main() {
 	var benchList []string
 	opts := []warped.ExperimentOption{
 		warped.WithParallelism(*parallel),
+		warped.WithSMParallel(*smPar),
 		warped.WithRetries(*retries),
 		warped.WithWatchdog(*watchdog),
 	}

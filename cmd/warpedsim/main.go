@@ -51,6 +51,7 @@ func main() {
 		decLat   = flag.Int("decomplat", 1, "decompression latency in cycles")
 		compare  = flag.Bool("compare", false, "also run the no-compression baseline and report deltas")
 		parallel = flag.Bool("parallel", false, "with -compare, simulate the baseline concurrently")
+		smPar    = flag.Int("sm-parallel", 0, "shard the SM loop across this many goroutines (0 = one per CPU); results are byte-identical at every count")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "emit the run result as versioned JSON ("+warped.ResultSchema+") instead of the text summary")
 		inject   = flag.String("inject", "", "inject register-file faults, e.g. seed=42,stuck=2,transient=100,redirect (stuck = stuck-at banks/SM, transient = bit flips per million writes, redirect = RRCD remapping)")
@@ -105,6 +106,7 @@ func main() {
 
 	cfg := warped.DefaultConfig()
 	cfg.NumSMs = *sms
+	cfg.SMParallel = *smPar
 	cfg.Scheduler = *sched
 	cfg.CompressLatency = *compLat
 	cfg.DecompressLatency = *decLat

@@ -29,12 +29,16 @@ func ConfigSignature(c *sim.Config) string {
 			c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
 			c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
 			c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
-		fmt.Sprintf(" sch%d alu%d sfu%d gm%d gl%d gi%d sl%d l1%d/%d/%d rfc%d drw%d mc%d flt{%s}",
+		fmt.Sprintf(" sch%d alu%d sfu%d gm%d gl%d gi%d sl%d l1%d/%d/%d rfc%d drw%d mc%d ep%d flt{%s}",
 			c.SchedulersPerSM, c.ALULatency, c.SFULatency,
 			c.GlobalMemBytes, c.GlobalLatency, c.GlobalMaxInflight, c.SharedLatency,
 			c.L1SizeKB, c.L1Ways, c.L1HitLatency,
-			c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.Faults.String())
+			c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.SMEpoch, c.Faults.String())
 }
+
+// SMParallel is deliberately absent: the epoch-barrier commit protocol makes
+// results byte-identical at every shard count (the determinism oracle in
+// internal/sim enforces it), so including it would only fragment the cache.
 
 // sig is the engine-internal shorthand for ConfigSignature.
 func sig(c *sim.Config) string { return ConfigSignature(c) }

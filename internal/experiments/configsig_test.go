@@ -68,6 +68,13 @@ func TestConfigSignatureCoversConfig(t *testing.T) {
 	typ := reflect.TypeOf(base)
 	for i := 0; i < typ.NumField(); i++ {
 		f := typ.Field(i)
+		if f.Name == "SMParallel" {
+			// Exempt by design: shard count never changes results (the
+			// epoch-barrier commit makes them byte-identical at every
+			// SMParallel, enforced by internal/sim's determinism tests), so
+			// covering it would fragment the memo cache for no gain.
+			continue
+		}
 		mod := base
 		perturb(reflect.ValueOf(&mod).Elem().Field(i))
 		if got := ConfigSignature(&mod); got == want {

@@ -16,6 +16,12 @@ import (
 type EngineConfig struct {
 	// Parallelism bounds concurrent simulations; <= 0 means GOMAXPROCS.
 	Parallelism int
+	// SMParallel shards each simulation's per-cycle SM loop across this
+	// many worker goroutines, for configurations that leave
+	// sim.Config.SMParallel at 0. <= 0 means auto: GOMAXPROCS divided by
+	// Parallelism, so the two parallelism levels never oversubscribe.
+	// Results are byte-identical at every shard count.
+	SMParallel int
 	// Scale is the workload size benchmarks are built at.
 	Scale kernels.Scale
 	// Retries grants every job this many extra attempts after a transient
@@ -64,6 +70,9 @@ func NewEngine(ctx context.Context, cfg EngineConfig) *Engine {
 		ctx = context.Background()
 	}
 	eng := newEngine(ctx, cfg.Parallelism, cfg.Scale, cfg.Progress)
+	if cfg.SMParallel > 0 {
+		eng.smParallel = cfg.SMParallel
+	}
 	if cfg.Retries > 0 {
 		eng.retries = cfg.Retries
 	}

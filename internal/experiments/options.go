@@ -15,6 +15,7 @@ type config struct {
 	scale       kernels.Scale
 	benchmarks  []string
 	parallelism int // 0 means GOMAXPROCS
+	smParallel  int // 0 means auto: GOMAXPROCS / parallelism
 	progress    ProgressFunc
 	base        *sim.Config
 	retries     int
@@ -49,6 +50,21 @@ func WithBenchmarks(names ...string) Option {
 // parallelism level: tables come out byte-identical to a sequential run.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// WithSMParallel shards every simulation's per-cycle SM loop across n
+// worker goroutines (sim.Config.SMParallel), for configurations that do
+// not pin a shard count themselves. n <= 0 (the default) means auto:
+// divide the machine's cores across the runner's worker slots, so
+// job-level and intra-simulation parallelism never oversubscribe. Results
+// are byte-identical at every shard count.
+func WithSMParallel(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.smParallel = n
+	}
 }
 
 // WithProgress installs a structured progress callback. Events are
@@ -149,6 +165,7 @@ func New(ctx context.Context, opts ...Option) (*Runner, error) {
 		o(&c)
 	}
 	eng := newEngine(ctx, c.parallelism, c.scale, c.progress)
+	eng.smParallel = c.smParallel
 	eng.retries = c.retries
 	if c.backoff > 0 {
 		eng.backoff = c.backoff

@@ -178,6 +178,7 @@ func (e *engine) evictTraces() {
 // the captured trace. A failed output check discards the trace — a
 // miscomputing front-end must not be replayed into N configurations.
 func (e *engine) recordSim(ctx context.Context, b *kernels.Benchmark, c sim.Config, beat *atomic.Uint64) (*sim.Result, *exectrace.Launch, error) {
+	e.tuneSMParallel(&c)
 	g, err := sim.New(c)
 	if err != nil {
 		return nil, nil, err
@@ -201,6 +202,7 @@ func (e *engine) recordSim(ctx context.Context, b *kernels.Benchmark, c sim.Conf
 // and functional correctness was already established when the trace was
 // recorded.
 func (e *engine) replaySim(ctx context.Context, name string, c sim.Config, lt *exectrace.Launch, beat *atomic.Uint64) (*sim.Result, error) {
+	e.tuneSMParallel(&c)
 	g, err := sim.New(c)
 	if err != nil {
 		return nil, err

@@ -319,6 +319,12 @@ type Config struct {
 	// Workers is the worker-pool width and the engine's parallelism;
 	// <= 0 means GOMAXPROCS.
 	Workers int
+	// SMParallel shards each simulation's per-cycle SM loop across this
+	// many goroutines, for submissions that do not pin
+	// sim.Config.SMParallel themselves. <= 0 means auto (GOMAXPROCS
+	// divided by Workers). Results are byte-identical at every shard
+	// count, so this is invisible to the cache and the trace store.
+	SMParallel int
 	// QueueDepth bounds the FIFO admission queue; submissions beyond it
 	// are rejected with ErrQueueFull. <= 0 means 64.
 	QueueDepth int
@@ -501,6 +507,7 @@ func NewManager(ctx context.Context, cfg Config) *Manager {
 	// replays of old refs resolve through the disk store on demand.
 	m.eng = experiments.NewEngine(ctx, experiments.EngineConfig{
 		Parallelism:  cfg.Workers,
+		SMParallel:   cfg.SMParallel,
 		Scale:        cfg.Scale,
 		Retries:      cfg.Retries,
 		RetryBackoff: cfg.RetryBackoff,

@@ -103,6 +103,23 @@ func (g *Global) grow(need int) {
 	g.data = data
 }
 
+// Check32 validates a 32-bit access (alignment and capacity) without
+// touching memory. Callers that buffer stores for deferred application use
+// it to surface access errors at issue time; a checked Store32 can then
+// never fail.
+func (g *Global) Check32(addr uint32) error { return g.check(addr) }
+
+// Presize grows the backing store to the allocator's high-water mark, so
+// every address handed out by Alloc is backed without further growth.
+// Stores beyond the allocator frontier may still grow the backing lazily;
+// callers that share the Global across goroutines must serialize those
+// (concurrent loads against a non-growing backing are safe).
+func (g *Global) Presize() {
+	if int(g.brk) > len(g.data) {
+		g.grow(int(g.brk))
+	}
+}
+
 func (g *Global) check(addr uint32) error {
 	if addr%4 != 0 {
 		return fmt.Errorf("mem: unaligned access at 0x%x", addr)

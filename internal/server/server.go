@@ -195,6 +195,11 @@ type submitRequest struct {
 	Config    json.RawMessage `json:"config"`
 	Mode      string          `json:"mode"`
 	TraceRef  string          `json:"trace_ref"`
+	// SMParallel pins the simulation's SM shard count for this job
+	// (sim.Config.SMParallel). Omitted or 0 defers to the server's
+	// -sm-parallel policy; negative is rejected. Purely a performance
+	// knob — results are byte-identical at every shard count.
+	SMParallel *int `json:"sm_parallel"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -228,6 +233,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad config overrides: %v", err)
 			return
 		}
+	}
+	if req.SMParallel != nil {
+		if *req.SMParallel < 0 {
+			writeError(w, http.StatusBadRequest, "sm_parallel must be >= 0, got %d", *req.SMParallel)
+			return
+		}
+		cfg.SMParallel = *req.SMParallel
 	}
 
 	tenant, ok := s.authorize(w, r)

@@ -218,6 +218,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown config field", `{"benchmark": "zz-srv", "config": {"NumSMz": 2}}`},
 		{"invalid config", submitBody(`"MaxWarpsPerSM": -1`)},
 		{"unknown top-level field", `{"benchmark": "zz-srv", "cfg": {}}`},
+		{"negative sm_parallel", `{"benchmark": "zz-srv", "sm_parallel": -2}`},
 	}
 	for _, tc := range cases {
 		postJob(t, ts, tc.body, http.StatusBadRequest)
@@ -229,6 +230,27 @@ func TestSubmitValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubmitSMParallel: the additive sm_parallel field pins the shard
+// count for one job; because shard count never changes results, the
+// sharded job must share its signature (and thus cache identity) with an
+// unsharded submission of the same config.
+func TestSubmitSMParallel(t *testing.T) {
+	_, ts := newServer(t, jobs.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	body := `{"benchmark": "zz-srv", "config": {"NumSMs": 2}, "sm_parallel": 2}`
+	v := postJob(t, ts, body, http.StatusAccepted)
+	done := waitJobState(t, ts, v.ID, jobs.StateDone)
+	if done.Result == nil || done.Result.Cycles == 0 {
+		t.Fatalf("sharded job finished without a result: %+v", done)
+	}
+	plain := postJob(t, ts, submitBody(""), http.StatusOK) // cache hit
+	if plain.Signature != done.Signature {
+		t.Fatalf("sm_parallel changed the signature: %q vs %q", done.Signature, plain.Signature)
+	}
+	if plain.Result == nil || plain.Result.Cycles != done.Result.Cycles {
+		t.Fatalf("sharded and unsharded submissions disagree: %+v vs %+v", plain.Result, done.Result)
 	}
 }
 

@@ -60,6 +60,10 @@ Lloop:
 		if sm.err != nil {
 			t.Fatalf("cycle %d: %v", cycle, sm.err)
 		}
+		// The epoch barrier the GPU loop would run: drain the commit log
+		// every cycle (SMEpoch=1) so its steady-state cost — append into a
+		// warm slice, overlay clear, Store32 — is measured too.
+		sm.commitMemLog()
 	}
 	// Warm-up: grow every pool and scratch buffer to steady-state size.
 	for i := 0; i < 2000; i++ {

@@ -89,14 +89,20 @@ func (s *SM) operand(w *Warp, o isa.Operand, lane int) uint32 {
 // execute performs the architectural effect of instruction `in` at `pc` for
 // warp w: register/predicate/memory updates and SIMT control flow. `active`
 // is the stack active mask, `eff` the guard-filtered execution mask. The
-// outcome is written into res (caller-owned, pre-zeroed); no allocation
-// happens on the success path.
+// outcome is written into f.res (caller-owned, pre-zeroed); no allocation
+// happens on the steady-state success path.
 //
 // Control flow (PC advance, divergence, exit, barrier) is fully resolved
 // here; res feeds the timing pipeline only. For register-writing ops,
 // res.unchanged reports that every executed lane produced the value the
 // register already held — the encoding memo key (see SM.chooseEnc).
-func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *execResult) error {
+//
+// Global-memory effects are epoch-buffered (shard.go): loads read the
+// epoch-start memory image overlaid with this SM's own buffered stores,
+// stores append to the commit log, and atomics capture their addresses and
+// addends for the barrier to resolve serially in SM-id order.
+func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, f *inflight) error {
+	res := &f.res
 	t := w.tos()
 	changed := false
 
@@ -176,15 +182,15 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 			var v uint32
 			var err error
 			if in.Op == isa.OpLdG {
-				v, err = s.gpu.mem.Load32(addr)
+				v, err = s.loadGlobal(addr)
 			} else {
 				v, err = s.loadShared(w, addr)
 			}
 			if err != nil {
 				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
 			}
-			if rec := s.gpu.rec; rec != nil && in.Op == isa.OpLdG {
-				rec.noteGlobal(addr, memLoad)
+			if rv := s.recv; rv != nil && in.Op == isa.OpLdG {
+				rv.noteGlobal(addr, memLoad)
 			}
 			if v != res.dstVals[lane] {
 				res.dstVals[lane] = v
@@ -199,35 +205,32 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 
 	case isa.OpAtomAdd:
 		res.dstVals = w.regs[in.Dst]
-		// Lanes apply in lane order; colliding addresses serialize, so
-		// each lane reads the running value (CUDA atomicAdd semantics
-		// for any one serialization order; lane order keeps it
-		// deterministic).
+		// Address computation, bounds checks and the trace note happen at
+		// issue in lane order; the read-modify-writes are deferred to the
+		// epoch barrier (SM.resolveAtom), which fills res.dstVals and
+		// res.unchanged before the pipeline consumes them. The destination
+		// register stays scoreboarded until the write commits, so nothing
+		// observes the not-yet-resolved old values.
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if eff&(1<<lane) == 0 {
 				continue
 			}
 			addr := s.operand(w, in.Srcs[0], lane) + uint32(in.Off)
 			res.addrs[lane] = addr
-			v, err := s.gpu.mem.Load32(addr)
-			if err != nil {
+			if err := s.gpu.mem.Check32(addr); err != nil {
 				return fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
 			}
-			add := s.operand(w, in.Srcs[1], lane)
-			if err := s.gpu.mem.Store32(addr, v+add); err != nil {
-				return fmt.Errorf("atom.add at pc %d lane %d: %w", pc, lane, err)
-			}
-			if rec := s.gpu.rec; rec != nil {
-				rec.noteAtom(addr, v, add)
-			}
-			if v != res.dstVals[lane] {
-				res.dstVals[lane] = v
-				changed = true
+			f.atomAdds[lane] = s.operand(w, in.Srcs[1], lane)
+			if rv := s.recv; rv != nil {
+				rv.noteAtom(addr, f.atomAdds[lane])
 			}
 		}
-		w.regs[in.Dst] = res.dstVals
 		res.writes = eff != 0
-		res.unchanged = !changed
+		if eff == 0 {
+			res.unchanged = true
+		} else {
+			s.memLog = append(s.memLog, memOp{atom: f})
+		}
 		s.memTiming(res, true, eff)
 		res.atomDeg = atomicConflictDegree(&res.addrs, eff)
 		t.pc++
@@ -242,15 +245,20 @@ func (s *SM) execute(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *
 			v := s.operand(w, in.Srcs[1], lane)
 			var err error
 			if in.Op == isa.OpStG {
-				err = s.gpu.mem.Store32(addr, v)
+				// Validated now so the error surfaces at issue with the
+				// sequential engine's exact attribution; the write itself
+				// buffers until the epoch barrier.
+				if err = s.gpu.mem.Check32(addr); err == nil {
+					s.bufferStore(addr, v)
+				}
 			} else {
 				err = s.storeShared(w, addr, v)
 			}
 			if err != nil {
 				return fmt.Errorf("%s at pc %d lane %d: %w", in.Op, pc, lane, err)
 			}
-			if rec := s.gpu.rec; rec != nil && in.Op == isa.OpStG {
-				rec.noteGlobal(addr, memStore)
+			if rv := s.recv; rv != nil && in.Op == isa.OpStG {
+				rv.noteGlobal(addr, memStore)
 			}
 		}
 		s.memTiming(res, in.Op == isa.OpStG, eff)
@@ -319,6 +327,29 @@ func atomicConflictDegree(addrs *[isa.WarpSize]uint32, mask uint32) int {
 		return 1
 	}
 	return deg
+}
+
+// loadGlobal reads device memory as this SM observes it mid-epoch: its own
+// buffered stores (the overlay) over the epoch-start memory image. Other
+// SMs' same-epoch stores become visible at the next barrier. The only
+// divergence from the sequential engine is a load racing a *same-cycle*
+// store from another SM — inherently schedule-dependent code that record
+// mode already rejects as untraceable; every cross-cycle communication
+// pattern is byte-identical.
+func (s *SM) loadGlobal(addr uint32) (uint32, error) {
+	if len(s.memOverlay) > 0 {
+		if v, ok := s.memOverlay[addr]; ok {
+			return v, nil
+		}
+	}
+	return s.gpu.mem.Load32(addr)
+}
+
+// bufferStore logs a validated global store for the epoch barrier and makes
+// it visible to this SM's own subsequent loads.
+func (s *SM) bufferStore(addr, val uint32) {
+	s.memLog = append(s.memLog, memOp{addr: addr, val: val})
+	s.memOverlay[addr] = val
 }
 
 // loadShared reads the CTA's shared memory slab.

@@ -123,13 +123,25 @@ func (g *GPU) run(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Resu
 	for _, sm := range g.sms {
 		sm.reset(l)
 	}
+	// Back the allocator's high-water mark up front: during the parallel
+	// phase global memory is read-only (stores commit at epoch barriers),
+	// so the backing slice must not grow under a concurrent load.
+	g.mem.Presize()
+
+	epoch := uint64(g.cfg.SMEpoch)
+	if epoch == 0 {
+		epoch = 1
+	}
+	pool := newShardPool(g, g.shardCount())
+	defer pool.stop()
 
 	nextCTA := 0
 	numCTAs := l.NumCTAs()
-	cycle := uint64(1)
+	c0 := uint64(1) // first cycle of the current epoch
 	for {
-		// Round-robin CTA dispatch (one attempt per SM per cycle keeps
-		// the dispatcher simple and fair).
+		// Round-robin CTA dispatch (one attempt per SM per epoch keeps
+		// the dispatcher simple and fair; at the default 1-cycle epoch
+		// this is the sequential engine's per-cycle dispatch exactly).
 		for _, sm := range g.sms {
 			if nextCTA >= numCTAs {
 				break
@@ -138,35 +150,45 @@ func (g *GPU) run(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Resu
 				nextCTA++
 			}
 		}
+		for _, sm := range g.sms {
+			if sm.err != nil && sm.errCycle == 0 {
+				sm.errCycle = c0 // dispatch-phase failure (warp allocation)
+			}
+		}
+
+		pool.runEpoch(c0, epoch)
+
+		if err := g.epochErr(); err != nil {
+			return nil, err // run abandoned; buffered effects stay uncommitted
+		}
+		g.commitEpoch()
 
 		busy := nextCTA < numCTAs
 		for _, sm := range g.sms {
-			sm.step(cycle)
-			if sm.err != nil {
-				return nil, fmt.Errorf("sim: SM %d, cycle %d: %w", sm.id, cycle, sm.err)
-			}
 			busy = busy || sm.busy()
 		}
 		if !busy {
+			c0 += epoch - 1 // the launch drained within this epoch
 			break
 		}
-		cycle++
-		if cycle%cancelCheckInterval == 0 {
+		next := c0 + epoch
+		// Poll once per epoch when a cancelCheckInterval boundary falls
+		// inside it; the reported cycle is that boundary, matching the
+		// sequential engine's per-cycle modulo check at 1-cycle epochs.
+		if m := next / cancelCheckInterval * cancelCheckInterval; m > c0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: canceled at cycle %d: %w", cycle, err)
+				return nil, fmt.Errorf("sim: canceled at cycle %d: %w", m, err)
 			}
 			if beat != nil {
-				var issued uint64
-				for _, sm := range g.sms {
-					issued += sm.st.Instructions
-				}
-				beat.Store(issued)
+				beat.Store(pool.issuedTotal())
 			}
 		}
-		if cycle > g.cfg.MaxCycles {
+		if next > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("%w: %d cycles (deadlock or runaway kernel?)", ErrMaxCycles, g.cfg.MaxCycles)
 		}
+		c0 = next
 	}
+	cycle := c0
 
 	// Drain invariants: a completed launch must leave no residue. A
 	// violation is a simulator bug, never a workload property.

@@ -45,6 +45,12 @@ type inflight struct {
 	unitReady    uint64 // latest decompressor completion granted so far
 	readyAt      uint64 // current stage's completion cycle
 
+	// Deferred-atomic state (shard.go): addends captured at issue for the
+	// epoch barrier to apply, and — in replay mode — the first trace AtomOp
+	// index of this instruction.
+	atomAdds [isa.WarpSize]uint32
+	atomIdx  int
+
 	dstID    int
 	dummyDst isa.Reg
 	enc      core.Encoding

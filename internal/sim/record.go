@@ -24,6 +24,11 @@ var ErrUntraceable = errors.New("sim: launch mixes atomic and non-atomic access 
 // stream is exactly what the timing back-end consumed — dummy MOVs and
 // other timing artifacts are never recorded (replay re-derives them from
 // its own configuration).
+//
+// Recording is shard-safe by construction: every mutable structure an SM
+// touches at issue lives in that SM's own recView (a CTA — and therefore a
+// warp stream — belongs to exactly one SM), and the shared atomSeen table
+// is written only at the serial epoch barrier.
 type recorder struct {
 	launch      *exectrace.Launch
 	streams     []*exectrace.WarpStream // indexed ctaID*warpsPerCTA + warpInCTA
@@ -32,16 +37,28 @@ type recorder struct {
 	// atomSeen maps each atomically-touched address to the value it held
 	// the first time any atomic read it — its launch-time value, since
 	// atomics are the only writers of those cells during the launch.
+	// Written only from SM.resolveAtom at the epoch barrier.
 	atomSeen map[uint32]uint32
+
+	views []*recView // one per SM
+}
+
+// recView is one SM's private slice of the recorder: its aliasing-detection
+// map, its pending-atomic buffer and its issue-time error. Cross-SM
+// aliasing, which no single view can see, is caught by finish.
+type recView struct {
+	r *recorder
+
 	// pend buffers the per-lane operations of the atomic currently inside
 	// execute; record() flushes them into the issuing warp's stream.
 	pend []exectrace.AtomOp
 
-	// memUse tracks how each global address was touched, to detect the one
-	// program shape a trace cannot represent: a cell accessed both
-	// atomically and non-atomically in the same launch. Such mixing makes
-	// the value stream schedule-dependent, so record refuses it (see
-	// ErrUntraceable) rather than produce a trace that replays wrong.
+	// memUse tracks how each global address was touched by this SM, to
+	// detect the one program shape a trace cannot represent: a cell
+	// accessed both atomically and non-atomically in the same launch. Such
+	// mixing makes the value stream schedule-dependent, so record refuses
+	// it (see ErrUntraceable) rather than produce a trace that replays
+	// wrong.
 	memUse map[uint32]uint8
 	err    error
 }
@@ -52,7 +69,7 @@ const (
 	memAtom                    // atom.add
 )
 
-func newRecorder(l isa.Launch) *recorder {
+func newRecorder(l isa.Launch, numSMs int) *recorder {
 	// Snapshot the kernel without its reconvergence table: ReconvPC is an
 	// execute-mode artifact the replayer never reads, and dropping it keeps
 	// trace bytes independent of whether the CFG pass ran.
@@ -67,7 +84,6 @@ func newRecorder(l isa.Launch) *recorder {
 		},
 		warpsPerCTA: l.WarpsPerCTA(),
 		atomSeen:    make(map[uint32]uint32),
-		memUse:      make(map[uint32]uint8),
 	}
 	n := l.NumCTAs() * r.warpsPerCTA
 	r.streams = make([]*exectrace.WarpStream, n)
@@ -75,40 +91,45 @@ func newRecorder(l isa.Launch) *recorder {
 		r.streams[i] = &exectrace.WarpStream{CTAID: i / r.warpsPerCTA, WarpInCTA: i % r.warpsPerCTA}
 	}
 	r.launch.Warps = r.streams
+	r.views = make([]*recView, numSMs)
+	for i := range r.views {
+		r.views[i] = &recView{r: r, memUse: make(map[uint32]uint8)}
+	}
 	return r
 }
 
 // noteAtom is called from inside execute's atomic loop for each executed
-// lane: addr is the target cell, pre the value read, add the addend.
-func (r *recorder) noteAtom(addr, pre, add uint32) {
-	if _, ok := r.atomSeen[addr]; !ok {
-		r.atomSeen[addr] = pre
+// lane: addr is the target cell, add the addend. The pre-value is not known
+// yet — the epoch barrier registers it into atomSeen when the deferred
+// atomic resolves.
+func (v *recView) noteAtom(addr, add uint32) {
+	if v.memUse[addr]&(memLoad|memStore) != 0 {
+		v.fail(addr)
 	}
-	if r.memUse[addr]&(memLoad|memStore) != 0 {
-		r.fail(addr)
-	}
-	r.memUse[addr] |= memAtom
-	r.pend = append(r.pend, exectrace.AtomOp{Addr: addr, Add: add})
+	v.memUse[addr] |= memAtom
+	v.pend = append(v.pend, exectrace.AtomOp{Addr: addr, Add: add})
 }
 
 // noteGlobal is called for each executed lane of a non-atomic global
 // load/store.
-func (r *recorder) noteGlobal(addr uint32, kind uint8) {
-	if r.memUse[addr]&memAtom != 0 {
-		r.fail(addr)
+func (v *recView) noteGlobal(addr uint32, kind uint8) {
+	if v.memUse[addr]&memAtom != 0 {
+		v.fail(addr)
 	}
-	r.memUse[addr] |= kind
+	v.memUse[addr] |= kind
 }
 
-func (r *recorder) fail(addr uint32) {
-	if r.err == nil {
-		r.err = fmt.Errorf("%w (address 0x%x)", ErrUntraceable, addr)
+func (v *recView) fail(addr uint32) {
+	if v.err == nil {
+		v.err = fmt.Errorf("%w (address 0x%x)", ErrUntraceable, addr)
 	}
 }
 
-// record appends one issued instruction to its warp's stream.
-func (r *recorder) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *execResult) {
-	ws := r.streams[w.ctaID*r.warpsPerCTA+w.warpInCTA]
+// record appends one issued instruction to its warp's stream. Safe to call
+// from concurrent shard workers: the stream is keyed by CTA, and a CTA is
+// resident on exactly one SM.
+func (v *recView) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, res *execResult) {
+	ws := v.r.streams[w.ctaID*v.r.warpsPerCTA+w.warpInCTA]
 	rec := exectrace.Rec{PC: pc, Active: active, Eff: eff}
 	if res.writes {
 		rec.Flags |= exectrace.FlagWrites
@@ -117,8 +138,9 @@ func (r *recorder) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, 
 		// Atomic outcomes are schedule-dependent: the replayer recomputes
 		// the old-value vector (and the unchanged bit) against its shadow
 		// memory, so neither is stored — which also keeps trace bytes
-		// independent of the recording configuration.
-		ws.Atoms = append(ws.Atoms, r.pend...)
+		// independent of the recording configuration (and lets record()
+		// run at issue, before the epoch barrier resolves the atomic).
+		ws.Atoms = append(ws.Atoms, v.pend...)
 	} else if res.writes {
 		if res.unchanged {
 			rec.Flags |= exectrace.FlagUnchanged
@@ -138,20 +160,38 @@ func (r *recorder) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, 
 		rec.Deg = uint16(res.sharedDeg)
 	}
 	ws.Recs = append(ws.Recs, rec)
-	r.pend = r.pend[:0]
+	v.pend = v.pend[:0]
 }
 
-// finish seals the launch: the atomic launch-time table is sorted by
-// address so the serialized trace is canonical regardless of discovery
-// order.
-func (r *recorder) finish() *exectrace.Launch {
+// finish seals the launch: per-SM usage maps are merged to catch cross-SM
+// atomic/non-atomic aliasing (invisible to any single view's issue-time
+// check; the lowest conflicting address is reported so the error is
+// deterministic at every shard count), and the atomic launch-time table is
+// sorted by address so the serialized trace is canonical regardless of
+// discovery order.
+func (r *recorder) finish() (*exectrace.Launch, error) {
+	merged := make(map[uint32]uint8)
+	for _, v := range r.views {
+		for addr, use := range v.memUse {
+			merged[addr] |= use
+		}
+	}
+	bad, found := uint32(0), false
+	for addr, use := range merged {
+		if use&memAtom != 0 && use&(memLoad|memStore) != 0 && (!found || addr < bad) {
+			bad, found = addr, true
+		}
+	}
+	if found {
+		return nil, fmt.Errorf("%w (address 0x%x)", ErrUntraceable, bad)
+	}
 	cells := make([]exectrace.AtomCell, 0, len(r.atomSeen))
 	for a, v := range r.atomSeen {
 		cells = append(cells, exectrace.AtomCell{Addr: a, Val: v})
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Addr < cells[j].Addr })
 	r.launch.AtomInit = cells
-	return r.launch
+	return r.launch, nil
 }
 
 // traceConfigError explains why a configuration cannot record or replay.
@@ -179,13 +219,16 @@ func (g *GPU) RecordContextBeat(ctx context.Context, l isa.Launch, beat *atomic.
 	if err := l.Validate(); err != nil {
 		return nil, nil, err
 	}
-	g.rec = newRecorder(l)
+	g.rec = newRecorder(l, len(g.sms))
 	defer func() { g.rec = nil }()
 	res, err := g.run(ctx, l, beat)
 	if err != nil {
 		return nil, nil, err
 	}
-	lt := g.rec.finish()
+	lt, err := g.rec.finish()
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := lt.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: recorded trace failed validation: %w", err)
 	}

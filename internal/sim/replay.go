@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/exectrace"
@@ -67,7 +68,8 @@ func (g *GPU) ReplayContextBeat(ctx context.Context, lt *exectrace.Launch, beat 
 // from the record, and atomic old values from the shadow memory. Control
 // flow needs no SIMT stack: the trace already is the resolved lane-exact
 // instruction stream.
-func (s *SM) replayStep(w *Warp, in *isa.Instr, res *execResult) {
+func (s *SM) replayStep(w *Warp, in *isa.Instr, f *inflight) {
+	res := &f.res
 	st := w.rpStream
 	r := &st.Recs[w.rpRec]
 	w.rpRec++
@@ -93,24 +95,19 @@ func (s *SM) replayStep(w *Warp, in *isa.Instr, res *execResult) {
 
 	case isa.OpAtomAdd:
 		res.dstVals = w.regs[in.Dst]
-		changed := false
-		rp := s.gpu.rp
-		for lane := 0; lane < isa.WarpSize; lane++ {
-			if eff&(1<<lane) == 0 {
-				continue
-			}
-			op := st.Atoms[w.rpAtom]
-			w.rpAtom++
-			v := rp.atoms[op.Addr]
-			rp.atoms[op.Addr] = v + op.Add
-			if v != res.dstVals[lane] {
-				res.dstVals[lane] = v
-				changed = true
-			}
-		}
-		w.regs[in.Dst] = res.dstVals
+		// Cursor advance happens at issue; the shadow-memory
+		// read-modify-writes resolve at the epoch barrier
+		// (SM.resolveReplayAtom) in SM-id order — the same global order
+		// execute mode commits in, so the old-value vectors match. The
+		// shared shadow map is never touched from shard workers.
+		f.atomIdx = w.rpAtom
+		w.rpAtom += bits.OnesCount32(eff)
 		res.writes = eff != 0
-		res.unchanged = !changed
+		if eff == 0 {
+			res.unchanged = true
+		} else {
+			s.memLog = append(s.memLog, memOp{atom: f})
+		}
 		s.replayMemAux(st, w, in, r, res)
 
 	case isa.OpStG, isa.OpStS:

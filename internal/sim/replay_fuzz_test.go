@@ -14,13 +14,15 @@ import (
 // assemblable kernel that records successfully must replay — through a full
 // wire-format round trip — to the byte-identical sim.Result. The corpus
 // seeds it with the suite's representative control-flow shapes; the fuzzer
-// then mutates the assembly and geometry.
+// then mutates the assembly, the geometry and the SM shard count (record
+// and replay run at independent shard counts, which must be invisible).
 func FuzzRecordReplay(f *testing.F) {
-	f.Add(tidKernelSrc, uint8(3), uint8(1))
-	f.Add(replayDivergentSrc, uint8(2), uint8(1))
-	f.Add(replayAtomicSrc, uint8(1), uint8(0))
+	f.Add(tidKernelSrc, uint8(3), uint8(1), uint8(0))
+	f.Add(replayDivergentSrc, uint8(2), uint8(1), uint8(1))
+	f.Add(replayAtomicSrc, uint8(1), uint8(0), uint8(2))
+	f.Add(replayAtomicSrc, uint8(3), uint8(2), uint8(7))
 
-	f.Fuzz(func(t *testing.T, src string, grid, block uint8) {
+	f.Fuzz(func(t *testing.T, src string, grid, block, shards uint8) {
 		k, err := asm.Assemble("fuzz", src)
 		if err != nil {
 			t.Skip()
@@ -32,6 +34,11 @@ func FuzzRecordReplay(f *testing.F) {
 		}
 		c := testConfig()
 		c.MaxCycles = 200_000 // fuzzed kernels may loop forever
+		// Record at one shard count, replay at another: byte-equality of the
+		// two results proves sharding is invisible end to end.
+		c.SMParallel = 1 + int(shards)%4
+		cR := c
+		cR.SMParallel = 1 + int(shards/4)%4
 
 		gRec, err := New(c)
 		if err != nil {
@@ -49,7 +56,7 @@ func FuzzRecordReplay(f *testing.F) {
 		if err != nil {
 			t.Fatalf("serialized trace failed to decode: %v", err)
 		}
-		gR, err := New(c)
+		gR, err := New(cR)
 		if err != nil {
 			t.Fatal(err)
 		}

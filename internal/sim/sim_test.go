@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/asm"
@@ -8,12 +10,20 @@ import (
 	"repro/internal/isa"
 )
 
-// testConfig shrinks the GPU for fast unit tests.
+// testConfig shrinks the GPU for fast unit tests. WARPED_TEST_SM_PARALLEL
+// overrides the shard count so the whole package can be re-run (notably
+// under -race in CI) with the SM loop actually sharded; results must not
+// change, which is the point of running it.
 func testConfig() Config {
 	c := DefaultConfig()
 	c.NumSMs = 2
 	c.GlobalMemBytes = 1 << 20
 	c.MaxCycles = 5_000_000
+	if v := os.Getenv("WARPED_TEST_SM_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			c.SMParallel = n
+		}
+	}
 	return c
 }
 

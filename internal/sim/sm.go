@@ -51,10 +51,24 @@ type SM struct {
 
 	inj *faults.Injector // nil unless fault injection is configured
 
-	// Scratch arenas, owned exclusively by this SM (the cycle loop runs
-	// SMs sequentially and the experiment engine gives every job its own
-	// GPU, so no locking is needed; `go test -race` guards the invariant).
-	// They make the steady-state cycle path allocation-free:
+	// Epoch-commit state (shard.go): global stores and deferred atomics
+	// buffer in memLog during the parallel phase and apply at the epoch
+	// barrier in SM-id order; memOverlay makes the SM's own buffered
+	// stores visible to its own loads within the epoch. issuedCtr points
+	// at the owning shard's instruction counter (the O(shards) heartbeat);
+	// errCycle records when err was raised, for the coordinator's
+	// deterministic first-error selection.
+	memLog     []memOp
+	memOverlay map[uint32]uint32
+	issuedCtr  *uint64
+	errCycle   uint64
+	recv       *recView // this SM's recorder view; nil unless recording
+
+	// Scratch arenas, owned exclusively by this SM (each SM is stepped by
+	// exactly one shard worker per epoch, and the experiment engine gives
+	// every job its own GPU, so no locking is needed; `go test -race`
+	// guards the invariant). They make the steady-state cycle path
+	// allocation-free:
 	//   - inflightPool / warpPool recycle retired records and their
 	//     backing arrays (register vectors, SIMT stacks, bank lists);
 	//   - cands is the scheduler candidate buffer rebuilt every cycle;
@@ -120,6 +134,9 @@ func newSM(id int, gpu *GPU) *SM {
 		comp:    core.NewUnitPool(cfg.Compressors, cfg.CompressLatency),
 		decomp:  core.NewUnitPool(cfg.Decompressors, cfg.DecompressLatency),
 		memPipe: mem.NewPipe(cfg.GlobalLatency, cfg.GlobalMaxInflight),
+
+		memOverlay: make(map[uint32]uint32),
+		issuedCtr:  new(uint64), // run() retargets to the owning shard
 	}
 	if cfg.Faults.Enabled() {
 		s.inj = faults.NewInjector(cfg.Faults, id, regfile.NumBanks)
@@ -174,6 +191,15 @@ func (s *SM) reset(l isa.Launch) {
 	s.ageSeq = 0
 	s.collectorsInUse = 0
 	s.err = nil
+	s.errCycle = 0
+	s.memLog = s.memLog[:0]
+	if len(s.memOverlay) > 0 {
+		clear(s.memOverlay)
+	}
+	s.recv = nil
+	if s.gpu.rec != nil {
+		s.recv = s.gpu.rec.views[s.id]
+	}
 }
 
 // busy reports whether the SM still has resident work.
@@ -386,6 +412,7 @@ func (s *SM) issue(w *Warp) {
 
 	divergent := active != w.launchMask
 	s.st.Instructions++
+	*s.issuedCtr++ // shard heartbeat, aggregated O(shards) at beat points
 	if divergent {
 		s.st.DivergentInstrs++
 	}
@@ -395,17 +422,17 @@ func (s *SM) issue(w *Warp) {
 	// straight back.
 	f := s.allocInflight()
 	if replaying {
-		s.replayStep(w, in, &f.res)
+		s.replayStep(w, in, f)
 	} else {
-		if err := s.execute(w, in, pc, active, eff, &f.res); err != nil {
+		if err := s.execute(w, in, pc, active, eff, f); err != nil {
 			s.err = err
 			s.freeInflight(f)
 			return
 		}
-		if rec := s.gpu.rec; rec != nil {
-			rec.record(w, in, pc, active, eff, &f.res)
-			if rec.err != nil {
-				s.err = rec.err // untraceable launch: abort the recording run
+		if v := s.recv; v != nil {
+			v.record(w, in, pc, active, eff, &f.res)
+			if v.err != nil {
+				s.err = v.err // untraceable launch: abort the recording run
 			}
 		}
 	}

@@ -326,6 +326,12 @@ func WithBenchmarks(names ...string) ExperimentOption { return experiments.WithB
 // WithParallelism bounds concurrent simulations; n <= 0 means GOMAXPROCS.
 func WithParallelism(n int) ExperimentOption { return experiments.WithParallelism(n) }
 
+// WithSMParallel shards each simulation's per-cycle SM loop across n worker
+// goroutines. n <= 0 (the default) divides the machine's cores across the
+// runner's worker slots automatically. Results are byte-identical at every
+// shard count.
+func WithSMParallel(n int) ExperimentOption { return experiments.WithSMParallel(n) }
+
 // WithProgress installs a structured progress callback (calls are
 // serialized; fn needs no locking).
 func WithProgress(fn func(ExperimentEvent)) ExperimentOption {
