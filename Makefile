@@ -23,6 +23,7 @@ verify:
 	WARPED_TEST_SM_PARALLEL=4 $(GO) test -race ./internal/sim/...
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=3s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzBDIRoundTrip -fuzztime=3s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzSchemeRoundTrip -fuzztime=3s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzInjector -fuzztime=3s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzTraceRead -fuzztime=3s ./internal/exectrace
 	$(GO) test -run=^$$ -fuzz=FuzzRecordReplay -fuzztime=3s ./internal/sim
@@ -33,7 +34,7 @@ verify:
 # leaves two timestamped artifacts in the repo root:
 #   BENCH_<stamp>.txt   benchstat-comparable text (benchstat old.txt new.txt)
 #   BENCH_<stamp>.json  machine-readable warped.bench/v1 trajectory document
-BENCH ?= SimulatorThroughput|BDI|RegfileAccess|GPUCycleSharded
+BENCH ?= SimulatorThroughput|BDI|RegfileAccess|GPUCycleSharded|Compressor
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)

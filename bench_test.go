@@ -314,6 +314,49 @@ func BenchmarkBDIRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressor measures each registered backend's full hot path —
+// Choose + CompressInto + Decompress — on a uniform warp vector every
+// scheme compresses. The static scheme runs with a bound per-kernel table,
+// exactly as the simulator binds one at launch.
+func BenchmarkCompressor(b *testing.B) {
+	var w core.WarpReg
+	for i := range w {
+		w[i] = 7
+	}
+	for _, scheme := range warped.CompressionSchemes() {
+		b.Run(scheme, func(b *testing.B) {
+			comp, err := warped.NewCompressor(scheme)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if binder, ok := comp.(core.KernelTableBinder); ok {
+				table := make([]core.Encoding, 8)
+				for i := range table {
+					table[i] = core.Enc40
+				}
+				binder.BindTable(table)
+			}
+			buf := make([]byte, 0, core.WarpBytes)
+			var out core.WarpReg
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := comp.Choose(3, &w, core.ModeWarped)
+				if e == core.EncUncompressed {
+					b.Fatal("uniform vector left uncompressed")
+				}
+				var ok bool
+				buf, ok = comp.CompressInto(buf[:0], &w, e)
+				if !ok {
+					b.Fatal("CompressInto rejected the chosen class")
+				}
+				if err := comp.Decompress(buf, e, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchRegfile drives the register file's per-access hot path: write-bank
 // selection, bank counting, commit, and read-bank selection, cycling through
 // every encoding so compressed and uncompressed placements both run.

@@ -43,6 +43,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/version"
+	"repro/warped"
 )
 
 // parseBytes parses a human byte size: a plain integer, or one with a
@@ -95,6 +96,7 @@ func main() {
 		storeBud = flag.String("store-budget", "0", "disk store byte budget, e.g. 512MiB or 2GB (0 = unlimited); LRU entries beyond it are deleted")
 		traceBud = flag.String("trace-budget", "0", "resident recorded-trace byte budget, e.g. 256MiB (0 = entry cap only)")
 		tenants  = flag.String("tenants", "", "JSON tenant roster for API keys, fair-share weights and per-tenant limits (empty = single tenant, no auth)")
+		compr    = flag.String("compression", "", "default compression scheme for submissions that don't pick one ("+strings.Join(warped.CompressionSchemes(), ", ")+"); empty = "+warped.DefaultCompressionScheme)
 		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -162,6 +164,13 @@ func main() {
 	})
 	api := server.New(mgr)
 	api.SetSSEKeepAlive(*sseKA)
+	if *compr != "" {
+		if !warped.CompressionSchemeRegistered(*compr) {
+			log.Fatalf("warpedd: -compression: unknown scheme %q (have %s)", *compr, strings.Join(warped.CompressionSchemes(), ", "))
+		}
+		api.SetDefaultCompression(*compr)
+		log.Printf("warpedd: default compression scheme %q", *compr)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: api.Handler(),

@@ -28,6 +28,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/prof"
 	"repro/internal/version"
@@ -43,7 +44,7 @@ func main() {
 		block    = flag.Int("block", 256, "CTA size in threads (with -asm)")
 		scale    = flag.String("scale", "medium", "benchmark scale: small, medium, large")
 		mode     = flag.String("mode", "execute", "run mode: execute, record, replay (compression-mode values are deprecated aliases for -compression)")
-		comp     = flag.String("compression", "warped", "compression mode: off, warped, only40, only41, only42")
+		comp     = flag.String("compression", "warped", "compression: off, warped, only40, only41, only42, or a registered scheme ("+schemeList()+")")
 		traceOut = flag.String("trace", "", "trace file: output path with -mode record, input path with -mode replay")
 		sched    = flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
 		sms      = flag.Int("sms", 15, "number of SMs")
@@ -95,13 +96,24 @@ func main() {
 	switch *mode {
 	case "execute", "record", "replay":
 		runMode = *mode
-	case "off", "warped", "only40", "only41", "only42":
+	case "off", "warped", "bdi", "only40", "only41", "only42":
 		// Pre-trace releases used -mode for the compression mode; honour
-		// the old spelling but steer callers to -compression.
-		fmt.Fprintf(os.Stderr, "warpedsim: -mode %s is deprecated; use -compression %s\n", *mode, *mode)
-		compression = *mode
+		// the old spelling but steer callers to the canonical -compression
+		// scheme name ("warped" is the bdi scheme's dynamic policy).
+		canonical := *mode
+		if canonical == "warped" {
+			canonical = warped.DefaultCompressionScheme
+		}
+		fmt.Fprintf(os.Stderr, "warpedsim: -mode %s is deprecated; use -compression %s\n", *mode, canonical)
+		compression = canonical
 	default:
-		fatal("unknown mode %q (execute, record, replay; compression modes moved to -compression)", *mode)
+		if warped.CompressionSchemeRegistered(*mode) {
+			// Registered scheme names route through the registry too.
+			fmt.Fprintf(os.Stderr, "warpedsim: -mode %s is deprecated; use -compression %s\n", *mode, *mode)
+			compression = *mode
+			break
+		}
+		fatal("unknown mode %q (execute, record, replay; compression moved to -compression)", *mode)
 	}
 
 	cfg := warped.DefaultConfig()
@@ -110,19 +122,8 @@ func main() {
 	cfg.Scheduler = *sched
 	cfg.CompressLatency = *compLat
 	cfg.DecompressLatency = *decLat
-	switch compression {
-	case "off":
-		cfg.Mode, cfg.PowerGating = warped.ModeOff, false
-	case "warped":
-		cfg.Mode = warped.ModeWarped
-	case "only40":
-		cfg.Mode = warped.ModeOnly40
-	case "only41":
-		cfg.Mode = warped.ModeOnly41
-	case "only42":
-		cfg.Mode = warped.ModeOnly42
-	default:
-		fatal("unknown compression mode %q", compression)
+	if err := cfg.ApplyCompression(compression); err != nil {
+		fatal("%v", err)
 	}
 	if *inject != "" {
 		fc, err := warped.ParseFaultSpec(*inject)
@@ -438,6 +439,11 @@ func printSummary(res *warped.Result) {
 		fmt.Printf("RRCD redirections   %d compressed writes steered around faulty banks\n",
 			s.RF.RedirectedWrites)
 	}
+}
+
+// schemeList renders the registered compression scheme names for flag help.
+func schemeList() string {
+	return strings.Join(warped.CompressionSchemes(), ", ")
 }
 
 func fatal(format string, args ...any) {

@@ -45,3 +45,58 @@ func TestCompressionHotPathAllocFree(t *testing.T) {
 		}
 	}
 }
+
+// TestSchemeHotPathAllocFree extends the allocation-free contract to every
+// registered backend: Choose + CompressInto + Decompress with caller-owned
+// buffers must not touch the heap, whichever scheme the simulator runs.
+func TestSchemeHotPathAllocFree(t *testing.T) {
+	for _, name := range Schemes() {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCompressor(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b, ok := c.(KernelTableBinder); ok {
+				table := make([]Encoding, 8)
+				for i := range table {
+					table[i] = Enc40
+				}
+				b.BindTable(table)
+			}
+			var w WarpReg
+			for i := range w {
+				w[i] = 7 // uniform: every scheme has a compressed class for it
+			}
+			buf := make([]byte, 0, WarpBytes)
+			var out WarpReg
+
+			var failure string
+			allocs := testing.AllocsPerRun(200, func() {
+				e := c.Choose(3, &w, ModeWarped)
+				if e == EncUncompressed {
+					failure = "uniform vector left uncompressed"
+					return
+				}
+				var ok bool
+				buf, ok = c.CompressInto(buf[:0], &w, e)
+				if !ok {
+					failure = "CompressInto rejected the chosen class"
+					return
+				}
+				if err := c.Decompress(buf, e, &out); err != nil {
+					failure = err.Error()
+					return
+				}
+				if out != w {
+					failure = "round trip mismatch"
+				}
+			})
+			if failure != "" {
+				t.Fatal(failure)
+			}
+			if allocs != 0 {
+				t.Fatalf("%s hot path allocates %.1f objects/op, want 0", name, allocs)
+			}
+		})
+	}
+}

@@ -58,6 +58,13 @@ const (
 	numEncodings
 )
 
+// NumEncodings is the number of encoding classes a register can be tagged
+// with (the uncompressed class plus three compressed classes). Every
+// registered Compressor maps its pattern classes onto this fixed class
+// space so the per-register 2-bit tag, the stats histograms and the result
+// document shape are scheme-independent.
+const NumEncodings = int(numEncodings)
+
 var encodingParams = [numEncodings]Params{
 	EncUncompressed: {},
 	Enc40:           {4, 0},
@@ -153,25 +160,9 @@ func (m Mode) Choose(vals *WarpReg) Encoding {
 	if m == ModeOff {
 		return EncUncompressed
 	}
-	// The three fixed choices nest: anything <4,0>-compressible is
-	// <4,1>-compressible, etc. One pass computes the widest delta needed.
-	base := vals[0]
-	width := 0 // 0, 1, 2 bytes of delta needed; 3 = incompressible
-	for _, v := range vals[1:] {
-		d := int32(v - base)
-		switch {
-		case d == 0:
-		case d >= -128 && d < 128:
-			if width < 1 {
-				width = 1
-			}
-		case d >= -32768 && d < 32768:
-			if width < 2 {
-				width = 2
-			}
-		default:
-			return EncUncompressed
-		}
+	width := deltaWidth(vals)
+	if width > 2 {
+		return EncUncompressed
 	}
 	best := [3]Encoding{Enc40, Enc41, Enc42}[width]
 	switch m {
@@ -189,4 +180,30 @@ func (m Mode) Choose(vals *WarpReg) Encoding {
 		return Enc42 // any width 0..2 fits in 2-byte deltas
 	}
 	return EncUncompressed
+}
+
+// deltaWidth computes the narrowest per-lane delta width (in bytes) that can
+// represent every lane of vals relative to lane 0. The three fixed BDI
+// choices nest — anything <4,0>-compressible is <4,1>-compressible, etc. —
+// so one pass suffices: 0, 1 or 2 bytes; 3 means no fixed choice fits.
+func deltaWidth(vals *WarpReg) int {
+	base := vals[0]
+	width := 0
+	for _, v := range vals[1:] {
+		d := int32(v - base)
+		switch {
+		case d == 0:
+		case d >= -128 && d < 128:
+			if width < 1 {
+				width = 1
+			}
+		case d >= -32768 && d < 32768:
+			if width < 2 {
+				width = 2
+			}
+		default:
+			return 3
+		}
+	}
+	return width
 }

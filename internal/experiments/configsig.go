@@ -29,12 +29,19 @@ func ConfigSignature(c *sim.Config) string {
 			c.Mode, c.PowerGating, c.Scheduler, c.CompressLatency, c.DecompressLatency,
 			c.CharacterizeWrites, c.NumSMs, c.MaxWarpsPerSM, c.MaxCTAsPerSM, c.Collectors,
 			c.Compressors, c.Decompressors, c.BankWakeupLatency, c.DivergencePolicy) +
-		fmt.Sprintf(" sch%d alu%d sfu%d gm%d gl%d gi%d sl%d l1%d/%d/%d rfc%d drw%d mc%d ep%d flt{%s}",
+		fmt.Sprintf(" sch%d alu%d sfu%d gm%d gl%d gi%d sl%d l1%d/%d/%d rfc%d drw%d mc%d ep%d cs%s flt{%s}",
 			c.SchedulersPerSM, c.ALULatency, c.SFULatency,
 			c.GlobalMemBytes, c.GlobalLatency, c.GlobalMaxInflight, c.SharedLatency,
 			c.L1SizeKB, c.L1Ways, c.L1HitLatency,
-			c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.SMEpoch, c.Faults.String())
+			c.RFCEntries, c.DrowsyAfter, c.MaxCycles, c.SMEpoch,
+			c.CompressionScheme(), c.Faults.String())
 }
+
+// The compression scheme is signed through the CompressionScheme accessor,
+// not the raw field, so the legacy empty spelling and "bdi" share one cache
+// identity (they run the identical simulation). Inserting the cs token did
+// not need a version bump: a cfg/v1 string with the token can never equal
+// one without it, so old persisted keys miss instead of aliasing.
 
 // SMParallel is deliberately absent: the epoch-barrier commit protocol makes
 // results byte-identical at every shard count (the determinism oracle in

@@ -83,6 +83,29 @@ func TestConfigSignatureCoversConfig(t *testing.T) {
 	}
 }
 
+// TestConfigSignatureCompressionScheme pins the scheme-identity contract:
+// the legacy empty spelling and the explicit default scheme run the same
+// simulation and must share one cache identity, while every other
+// registered scheme must get its own (result/store caches may never alias
+// across schemes).
+func TestConfigSignatureCompressionScheme(t *testing.T) {
+	base := sim.DefaultConfig()
+	want := ConfigSignature(&base)
+
+	bdi := base
+	bdi.Compression = "bdi"
+	if got := ConfigSignature(&bdi); got != want {
+		t.Errorf("empty Compression and %q must share a signature:\n  %q\n  %q", "bdi", want, got)
+	}
+	for _, scheme := range []string{"static", "fpc"} {
+		mod := base
+		mod.Compression = scheme
+		if got := ConfigSignature(&mod); got == want {
+			t.Errorf("scheme %q aliases the default scheme's signature %q", scheme, got)
+		}
+	}
+}
+
 // TestConfigSignatureFaultFields: every fault knob must alter the
 // signature individually (the exhibit that varies them depends on it).
 func TestConfigSignatureFaultFields(t *testing.T) {

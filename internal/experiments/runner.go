@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 )
@@ -92,6 +93,20 @@ func (r *Runner) cfgScheduler(policy string, compressed bool) sim.Config {
 func (r *Runner) cfgMode(m core.Mode) sim.Config {
 	c := r.cfgWarped()
 	c.Mode = m
+	return c
+}
+
+// cfgScheme is warped-compression running a specific registered backend at
+// that backend's own codec latencies (energy.CostOfScheme). Mode is pinned
+// to warped so the cmp1-schemes family compares schemes, not modes, even
+// when the runner's base config disables compression.
+func (r *Runner) cfgScheme(scheme string) sim.Config {
+	c := r.cfgWarped()
+	c.Mode = core.ModeWarped
+	c.Compression = scheme
+	cost := energy.CostOfScheme(scheme)
+	c.CompressLatency = cost.CompressLatency
+	c.DecompressLatency = cost.DecompressLatency
 	return c
 }
 
@@ -199,6 +214,11 @@ var exhibits = []exhibit{
 	{"abl5-drowsy", "Warped-compression vs drowsy register file", (*Runner).AblDrowsy},
 	// Robustness exhibit: behaviour under injected register-file faults.
 	{"flt1-faults", "Kernel correctness and energy under injected register faults", (*Runner).FaultInjection},
+	// Cross-scheme design space: the registered compression backends
+	// (schemes/v1) compared on ratio, energy and execution time.
+	{"cmp1-schemes-ratio", "Compression ratio across registered schemes", (*Runner).SchemesRatio},
+	{"cmp1-schemes-energy", "Register file energy across registered schemes", (*Runner).SchemesEnergy},
+	{"cmp1-schemes-overhead", "Execution time across registered schemes", (*Runner).SchemesOverhead},
 }
 
 // IDs lists every regenerable exhibit in paper order.

@@ -50,6 +50,11 @@ type Config struct {
 	// fixed lane-to-bank striping (every bank, faulty or not), as the
 	// hardware wiring dictates.
 	RedirectCompressed bool
+	// EncBanks maps each compression encoding class to the number of
+	// cluster banks it occupies, threaded from the active compression
+	// backend (core.BankTable). The zero value selects BDI's bank table,
+	// so files built from a zero Config keep the paper's geometry.
+	EncBanks [core.NumEncodings]int
 }
 
 type powerState uint8
@@ -80,8 +85,9 @@ type bank struct {
 // encodings, valid bits, bank power states and access counts that the
 // timing and energy models need.
 type File struct {
-	cfg   Config
-	banks [NumBanks]bank
+	cfg      Config
+	encBanks [core.NumEncodings]int // resolved per-class bank occupancy
+	banks    [NumBanks]bank
 
 	indicators *core.IndicatorTable
 	written    []bool // per register id: has it ever been written?
@@ -117,8 +123,20 @@ func New(cfg Config) *File {
 	}
 	f := &File{
 		cfg:        cfg,
+		encBanks:   cfg.EncBanks,
 		indicators: core.NewIndicatorTable(Capacity),
 		written:    make([]bool, Capacity),
+	}
+	if f.encBanks == ([core.NumEncodings]int{}) {
+		// Zero Config: BDI's bank table (the paper's geometry).
+		for i := range f.encBanks {
+			f.encBanks[i] = core.Encoding(i).Banks()
+		}
+	}
+	for i, n := range f.encBanks {
+		if n < 1 || n > BanksPerCluster {
+			panic(fmt.Sprintf("regfile: encoding class %d occupies %d banks (want 1..%d)", i, n, BanksPerCluster))
+		}
 	}
 	for _, b := range cfg.FaultyBanks {
 		if b < 0 || b >= NumBanks {
@@ -216,7 +234,7 @@ func (f *File) ReadBanks(id int, activeMask uint32, buf []int) []int {
 	enc := f.indicators.Get(id)
 	if enc.IsCompressed() {
 		buf = buf[:0]
-		for i := 0; i < enc.Banks(); i++ {
+		for i := 0; i < f.encBanks[enc]; i++ {
 			buf = append(buf, f.compBank(id, i))
 		}
 		return buf
@@ -230,7 +248,7 @@ func (f *File) ReadBanks(id int, activeMask uint32, buf []int) []int {
 func (f *File) WriteBanks(id int, enc core.Encoding, activeMask uint32, full bool, buf []int) []int {
 	if enc.IsCompressed() {
 		buf = buf[:0]
-		for i := 0; i < enc.Banks(); i++ {
+		for i := 0; i < f.encBanks[enc]; i++ {
 			buf = append(buf, f.compBank(id, i))
 		}
 		return buf
@@ -302,7 +320,7 @@ func (f *File) CommitWrite(id int, enc core.Encoding, full bool, now uint64) {
 		panic("regfile: divergent write must be uncompressed")
 	}
 	c, entry := cluster(id)
-	keep := enc.Banks()
+	keep := f.encBanks[enc]
 	// Walk the cluster's placement order: positions below keep hold the
 	// register, the rest must be invalid. The order is static, so encoding
 	// transitions (e.g. Enc42 -> Enc40) shrink or grow the same sequence.

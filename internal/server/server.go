@@ -48,6 +48,8 @@ type Server struct {
 	instance string
 
 	sseKeepAlive time.Duration // see SetSSEKeepAlive
+
+	defaultCompression string // see SetDefaultCompression
 }
 
 // New wires the route table onto mgr. The caller keeps ownership of the
@@ -92,6 +94,15 @@ func (s *Server) SetSSEKeepAlive(d time.Duration) {
 	if d > 0 {
 		s.sseKeepAlive = d
 	}
+}
+
+// SetDefaultCompression sets the compression scheme jobs run under when
+// neither the request's compression_scheme field nor its config overrides
+// pick one (the -compression flag of warpedd). Call it before serving
+// traffic with a name core.SchemeRegistered accepts; the empty default
+// keeps the preset's scheme.
+func (s *Server) SetDefaultCompression(scheme string) {
+	s.defaultCompression = scheme
 }
 
 // Handler returns the root handler for an http.Server (or httptest).
@@ -200,6 +211,12 @@ type submitRequest struct {
 	// -sm-parallel policy; negative is rejected. Purely a performance
 	// knob — results are byte-identical at every shard count.
 	SMParallel *int `json:"sm_parallel"`
+	// CompressionScheme selects the registered compression backend for
+	// this job (sim.Config.Compression: "bdi", "static", "fpc"). Additive:
+	// omitted keeps the preset's scheme (or the server's -compression
+	// default); unknown schemes are rejected with 400. It applies after
+	// config overrides, so it wins over a Compression key in config.
+	CompressionScheme string `json:"compression_scheme"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +258,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.SMParallel = *req.SMParallel
 	}
+	if req.CompressionScheme != "" {
+		cfg.Compression = req.CompressionScheme
+	} else if cfg.Compression == "" {
+		cfg.Compression = s.defaultCompression
+	}
+	// An unknown scheme is caught by cfg.Validate inside SubmitRequest and
+	// mapped to 400 with the other config errors below.
 
 	tenant, ok := s.authorize(w, r)
 	if !ok {

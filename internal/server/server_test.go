@@ -219,6 +219,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"invalid config", submitBody(`"MaxWarpsPerSM": -1`)},
 		{"unknown top-level field", `{"benchmark": "zz-srv", "cfg": {}}`},
 		{"negative sm_parallel", `{"benchmark": "zz-srv", "sm_parallel": -2}`},
+		{"unknown compression scheme", `{"benchmark": "zz-srv", "compression_scheme": "zstd"}`},
 	}
 	for _, tc := range cases {
 		postJob(t, ts, tc.body, http.StatusBadRequest)
@@ -251,6 +252,46 @@ func TestSubmitSMParallel(t *testing.T) {
 	}
 	if plain.Result == nil || plain.Result.Cycles != done.Result.Cycles {
 		t.Fatalf("sharded and unsharded submissions disagree: %+v vs %+v", plain.Result, done.Result)
+	}
+}
+
+// TestSubmitCompressionScheme: the additive compression_scheme field
+// picks a registered backend for one job. Unlike sm_parallel, the scheme
+// changes what the simulation computes, so the job must NOT share its
+// cfg/v1 signature (or cache entry) with a default-scheme submission.
+func TestSubmitCompressionScheme(t *testing.T) {
+	mgr := jobs.NewManager(context.Background(), jobs.Config{Workers: 1, QueueDepth: 4, CacheSize: 4})
+	t.Cleanup(mgr.Close)
+	srv := server.New(mgr)
+	srv.SetDefaultCompression("static")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	fpc := postJob(t, ts, `{"benchmark": "zz-srv", "config": {"NumSMs": 2}, "compression_scheme": "fpc"}`, http.StatusAccepted)
+	fpcDone := waitJobState(t, ts, fpc.ID, jobs.StateDone)
+	if fpcDone.Result == nil || fpcDone.Result.Cycles == 0 {
+		t.Fatalf("fpc job finished without a result: %+v", fpcDone)
+	}
+	if !strings.Contains(fpcDone.Signature, "csfpc") {
+		t.Fatalf("signature does not carry the scheme: %q", fpcDone.Signature)
+	}
+
+	// A submission that names no scheme falls back to the server default
+	// (-compression static here), landing in a distinct cache entry.
+	plain := postJob(t, ts, submitBody(""), http.StatusAccepted)
+	plainDone := waitJobState(t, ts, plain.ID, jobs.StateDone)
+	if plainDone.Signature == fpcDone.Signature {
+		t.Fatalf("scheme did not change the signature: %q", fpcDone.Signature)
+	}
+	if !strings.Contains(plainDone.Signature, "csstatic") {
+		t.Fatalf("server default scheme not applied: %q", plainDone.Signature)
+	}
+
+	// Explicit config overrides beat the server default.
+	over := postJob(t, ts, submitBody(`"Compression": "bdi"`), http.StatusAccepted)
+	overDone := waitJobState(t, ts, over.ID, jobs.StateDone)
+	if strings.Contains(overDone.Signature, "csstatic") {
+		t.Fatalf("server default overrode explicit config: %q", overDone.Signature)
 	}
 }
 

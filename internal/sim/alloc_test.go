@@ -85,7 +85,11 @@ Lloop:
 // unchanged-value path, and repaired as soon as the value changes or the
 // entry is invalidated.
 func TestChooseEncMemo(t *testing.T) {
-	s := &SM{}
+	comp, err := core.NewCompressor(core.DefaultScheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &SM{gpu: &GPU{comp: comp}}
 	w := newWarp(0, 0, 0, 0, isa.WarpSize, 8, 1)
 	const dst = isa.Reg(3)
 

@@ -36,6 +36,13 @@ type Config struct {
 
 	// Warped-compression configuration.
 	Mode core.Mode
+	// Compression names the registered compression backend (schemes/v1:
+	// "bdi", "static", "fpc"; see core.Schemes). The empty string is the
+	// legacy spelling of core.DefaultScheme ("bdi"), so configurations
+	// that predate the registry keep byte-identical results and signature
+	// identity. The fixed-choice modes (ModeOnly40/41/42) are BDI
+	// design-space points and only combine with the bdi scheme.
+	Compression string
 	// DivergencePolicy selects how divergent writes interact with
 	// compressed registers (paper §5.2):
 	//   "uncompressed" (default): store divergent writes uncompressed,
@@ -215,6 +222,51 @@ func (c *Config) Validate() error {
 		return &ConfigError{"SMEpoch", "negative epoch length (0 selects 1 cycle)"}
 	case c.SMEpoch > c.GlobalLatency:
 		return &ConfigError{"SMEpoch", fmt.Sprintf("epoch of %d cycles exceeds GlobalLatency %d (deferred atomics must commit before the pipeline consumes their old values)", c.SMEpoch, c.GlobalLatency)}
+	case !core.SchemeRegistered(c.Compression):
+		return &ConfigError{"Compression", fmt.Sprintf("unknown compression scheme %q (registered: %v)", c.Compression, core.Schemes())}
+	case c.CompressionScheme() != core.DefaultScheme &&
+		(c.Mode == core.ModeOnly40 || c.Mode == core.ModeOnly41 || c.Mode == core.ModeOnly42):
+		return &ConfigError{"Compression", fmt.Sprintf("mode %s is a BDI design-space point; scheme %q only supports off/warped", c.Mode, c.CompressionScheme())}
 	}
 	return c.Faults.Validate(regfile.NumBanks)
+}
+
+// CompressionScheme returns the resolved compression backend name: the
+// configured scheme, or core.DefaultScheme when the field is empty. Use
+// this accessor — not the raw field — anywhere the name is compared,
+// signed or displayed, so the legacy empty spelling can never alias.
+func (c *Config) CompressionScheme() string {
+	return core.ResolveScheme(c.Compression)
+}
+
+// ApplyCompression interprets a -compression flag value: a registered
+// scheme name ("bdi", "static", "fpc"), the policy spellings "off" and
+// "warped", or a BDI fixed-choice mode ("only40", "only41", "only42").
+// Scheme names enable compression (ModeWarped) under that backend; "off"
+// also disables bank power gating, matching the paper's baseline.
+func (c *Config) ApplyCompression(v string) error {
+	switch v {
+	case "off":
+		c.Mode = core.ModeOff
+		c.PowerGating = false
+	case "warped", "bdi":
+		c.Mode = core.ModeWarped
+		c.Compression = core.DefaultScheme
+	case "only40":
+		c.Mode = core.ModeOnly40
+		c.Compression = core.DefaultScheme
+	case "only41":
+		c.Mode = core.ModeOnly41
+		c.Compression = core.DefaultScheme
+	case "only42":
+		c.Mode = core.ModeOnly42
+		c.Compression = core.DefaultScheme
+	default:
+		if !core.SchemeRegistered(v) {
+			return &ConfigError{"Compression", fmt.Sprintf("unknown compression %q (have off, warped, only40, only41, only42, or a registered scheme: %v)", v, core.Schemes())}
+		}
+		c.Mode = core.ModeWarped
+		c.Compression = v
+	}
+	return nil
 }

@@ -7,11 +7,13 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cfg"
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regfile"
 	"repro/internal/stats"
+	"repro/internal/valueprof"
 )
 
 // ErrMaxCycles marks a simulation aborted for exceeding Config.MaxCycles —
@@ -26,6 +28,11 @@ type GPU struct {
 	mem *mem.Global
 	sms []*SM
 
+	// comp is the compression backend selected by cfg.Compression; all SMs
+	// share it (the scheme is stateless on the write path — the static
+	// scheme's table is bound once per launch, before the SMs run).
+	comp core.Compressor
+
 	// Front-end selection for the current run. Both nil in execute mode;
 	// rec tees the functional front-end into a trace (RecordContextBeat),
 	// rp replaces it with a trace cursor (ReplayContextBeat).
@@ -38,7 +45,11 @@ func New(config Config) (*GPU, error) {
 	if err := config.Validate(); err != nil {
 		return nil, err
 	}
-	g := &GPU{cfg: config, mem: mem.NewGlobal(config.GlobalMemBytes)}
+	comp, err := core.NewCompressor(config.Compression)
+	if err != nil {
+		return nil, err // unreachable after Validate; kept for refactors
+	}
+	g := &GPU{cfg: config, mem: mem.NewGlobal(config.GlobalMemBytes), comp: comp}
 	for i := 0; i < config.NumSMs; i++ {
 		g.sms = append(g.sms, newSM(i, g))
 	}
@@ -118,6 +129,14 @@ func (g *GPU) run(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Resu
 	if l.WarpsPerCTA()*l.Kernel.NumRegs > regfile.Capacity {
 		return nil, fmt.Errorf("sim: CTA register demand (%d warps x %d regs) exceeds register file capacity %d",
 			l.WarpsPerCTA(), l.Kernel.NumRegs, regfile.Capacity)
+	}
+
+	// Table-driven schemes derive their per-kernel encoding table here,
+	// before any SM runs. The table is a pure function of the kernel image
+	// (valueprof.StaticTable), so execute, record, replay and every shard
+	// count bind the same table.
+	if b, ok := g.comp.(core.KernelTableBinder); ok {
+		b.BindTable(valueprof.StaticTable(l.Kernel))
 	}
 
 	for _, sm := range g.sms {

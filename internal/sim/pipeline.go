@@ -346,7 +346,7 @@ func (s *SM) commitWrite(f *inflight) {
 	s.st.RegWrites[phase]++
 	s.st.WriteOrigBanks[phase] += core.WarpBanks
 	s.st.WritesByEnc[phase][f.enc]++
-	s.st.WriteCompBanks[phase] += uint64(statsEnc.Banks())
+	s.st.WriteCompBanks[phase] += uint64(s.gpu.comp.Banks(statsEnc))
 
 	// Fig 12 census sample.
 	written, compressed, _ := s.rfFile.Occupancy()

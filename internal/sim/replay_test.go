@@ -78,7 +78,18 @@ func replayTestConfigs() []Config {
 	noL1.DrowsyAfter = 100
 	noL1.CharacterizeWrites = true
 
-	return []Config{warped, baseline, recompress, rfc, noL1}
+	// Every non-default compression backend (schemes/v1) joins the sweep,
+	// so each scheme inherits all the trace-mode oracles below.
+	cfgs := []Config{warped, baseline, recompress, rfc, noL1}
+	for _, scheme := range core.Schemes() {
+		if scheme == core.DefaultScheme {
+			continue // warped already covers bdi
+		}
+		c := testConfig()
+		c.Compression = scheme
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
 }
 
 func resultBytes(t *testing.T, res *Result) []byte {

@@ -115,7 +115,7 @@ func (s *SM) allocWarpObj(slot, ctaSlot, ctaID, warpInCTA, liveThreads, numRegs 
 // sees the identical, seed-determined pattern).
 func (s *SM) regfileConfig() regfile.Config {
 	cfg := s.cfg
-	rc := regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter}
+	rc := regfile.Config{GatingEnabled: cfg.PowerGating, WakeupLatency: cfg.BankWakeupLatency, DrowsyAfter: cfg.DrowsyAfter, EncBanks: core.BankTable(s.gpu.comp)}
 	if s.inj != nil {
 		rc.FaultyBanks = s.inj.FaultyBanks()
 		rc.RedirectCompressed = cfg.Faults.Redirect
@@ -589,10 +589,18 @@ func (s *SM) finalizeWarp(w *Warp) {
 // returned without rescanning the 128-byte vector. Fault corruption
 // invalidates entries (see applyFaults).
 func (s *SM) chooseEnc(w *Warp, dst isa.Reg, res *execResult, mode core.Mode) core.Encoding {
+	// The memo is namespaced by compression backend: encoding classes mean
+	// different patterns under different schemes, so an entry written by
+	// one compressor must never be served under another (a warp object can
+	// outlive a scheme via the arena when engines are rebuilt in place).
+	if w.encComp != s.gpu.comp {
+		w.encValid = 0
+		w.encComp = s.gpu.comp
+	}
 	if res.unchanged && w.encValid&(1<<dst) != 0 {
 		return w.encCache[dst]
 	}
-	e := mode.Choose(&res.dstVals)
+	e := s.gpu.comp.Choose(int(dst), &res.dstVals, mode)
 	w.encCache[dst] = e
 	w.encValid |= 1 << dst
 	return e

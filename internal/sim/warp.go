@@ -58,6 +58,11 @@ type Warp struct {
 	// refreshes the entry; fault corruption invalidates it.
 	encCache [isa.MaxRegs]core.Encoding
 	encValid uint64
+	// encComp stamps which compression backend filled encCache; chooseEnc
+	// drops the whole memo when the stamp does not match the active
+	// compressor, so a recycled warp can never serve another scheme's
+	// classification.
+	encComp core.Compressor
 
 	// Replay front-end state: the warp's recorded stream and its cursors
 	// into the record list and the value/segment/atomic side pools. Nil
@@ -108,6 +113,7 @@ func (w *Warp) reset(slot, ctaSlot, ctaID, warpInCTA int, liveThreads int, numRe
 	w.regBusy = 0
 	w.predBusy = 0
 	w.encValid = 0
+	w.encComp = nil
 	w.rpStream = nil
 	w.rpRec, w.rpVal, w.rpSeg, w.rpAtom = 0, 0, 0, 0
 }

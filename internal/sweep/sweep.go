@@ -281,6 +281,34 @@ func (s *Spec) gridPoints(base sim.Config) ([]struct {
 	}
 }
 
+// SetBaseCompression merges a {"Compression": scheme} override into the
+// spec's Base overrides — the flag-level convenience behind warpedctl's
+// -compression. Explicit per-config and grid overrides still win, since
+// Base applies first. The spec is re-validated afterwards, so an unknown
+// scheme fails here, before any cluster time is spent.
+func (s *Spec) SetBaseCompression(scheme string) error {
+	var base map[string]json.RawMessage
+	if len(s.Base) > 0 {
+		if err := json.Unmarshal(s.Base, &base); err != nil {
+			return &SpecError{"base", err.Error()}
+		}
+	}
+	if base == nil {
+		base = map[string]json.RawMessage{}
+	}
+	enc, err := json.Marshal(scheme)
+	if err != nil {
+		return &SpecError{"base", err.Error()}
+	}
+	base["Compression"] = enc
+	merged, err := json.Marshal(base)
+	if err != nil {
+		return &SpecError{"base", err.Error()}
+	}
+	s.Base = merged
+	return s.validate()
+}
+
 // applyOverrides decodes raw onto cfg, rejecting unknown fields.
 func applyOverrides(cfg *sim.Config, raw json.RawMessage) error {
 	dec := json.NewDecoder(bytes.NewReader(raw))

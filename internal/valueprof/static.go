@@ -1,0 +1,205 @@
+package valueprof
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// This file is the profiling/derivation half of the "static" compression
+// scheme (Angerd et al., arXiv 2006.05693): a compile-time value-shape
+// analysis over the kernel image that assigns every architectural
+// destination register a fixed encoding class for the whole kernel. The
+// runtime half (core's staticScheme) only verifies that each written value
+// still fits its preassigned class and falls back to uncompressed when it
+// does not, so the table is an optimization hint, never a correctness
+// obligation — which is also why the coarse points of the analysis below
+// (2-D thread blocks, shift overflow) are safe.
+
+// shape abstracts the per-lane value vector of one register: every lane
+// holds base + stride*lane for some warp-uniform base. Uniform values are
+// stride 0; shapeUnknown means no affine description holds.
+type shape struct {
+	kind   uint8
+	stride int64
+}
+
+const (
+	shapeUnset   uint8 = iota // never written (lattice bottom)
+	shapeAffine               // lane value = base + stride*lane
+	shapeUnknown              // anything (lattice top)
+)
+
+func affineShape(stride int64) shape { return shape{kind: shapeAffine, stride: stride} }
+
+var unknown = shape{kind: shapeUnknown}
+
+// join widens toward shapeUnknown; affine shapes only survive a join with
+// an identical stride.
+func join(a, b shape) shape {
+	switch {
+	case a.kind == shapeUnset:
+		return b
+	case b.kind == shapeUnset:
+		return a
+	case a.kind == shapeAffine && b.kind == shapeAffine && a.stride == b.stride:
+		return a
+	}
+	return unknown
+}
+
+// operandShape evaluates a source operand under the current register shapes.
+func operandShape(o isa.Operand, regs []shape) shape {
+	switch o.Kind {
+	case isa.OperandImm:
+		return affineShape(0)
+	case isa.OperandReg:
+		if int(o.Reg) < len(regs) {
+			return regs[o.Reg]
+		}
+		return unknown
+	case isa.OperandSpecial:
+		switch o.Spec {
+		case isa.SpecLaneID:
+			// laneid is lane-affine by definition.
+			return affineShape(1)
+		case isa.SpecTidX:
+			// Exact for 1-D thread blocks (the common case in the
+			// suite); 2-D blocks can wrap tid.x inside a warp, which
+			// the runtime fit check absorbs.
+			return affineShape(1)
+		default:
+			// ctaid/ntid/nctaid/warpid/params are warp-uniform.
+			return affineShape(0)
+		}
+	}
+	return unknown
+}
+
+// transfer computes the shape an instruction writes to its destination.
+func transfer(in *isa.Instr, regs []shape) shape {
+	s0 := operandShape(in.Srcs[0], regs)
+	s1 := operandShape(in.Srcs[1], regs)
+	s2 := operandShape(in.Srcs[2], regs)
+	mul := func(a, b shape) shape {
+		switch {
+		case a.kind != shapeAffine || b.kind != shapeAffine:
+			return unknown
+		case a.stride == 0 && b.stride == 0:
+			return affineShape(0)
+		// base*(c + s*lane) is lane-affine only when the varying side
+		// is scaled by a compile-time constant; an immediate operand
+		// is the one base the analysis can name.
+		case a.stride == 0 && in.Srcs[0].Kind == isa.OperandImm:
+			return affineShape(b.stride * int64(in.Srcs[0].Imm))
+		case b.stride == 0 && in.Srcs[1].Kind == isa.OperandImm:
+			return affineShape(a.stride * int64(in.Srcs[1].Imm))
+		}
+		return unknown
+	}
+	add := func(a, b shape) shape {
+		if a.kind != shapeAffine || b.kind != shapeAffine {
+			return unknown
+		}
+		return affineShape(a.stride + b.stride)
+	}
+	uniformOnly := func(ss ...shape) shape {
+		for _, s := range ss {
+			if s.kind != shapeAffine || s.stride != 0 {
+				return unknown
+			}
+		}
+		return affineShape(0)
+	}
+	switch in.Op {
+	case isa.OpMov:
+		return s0
+	case isa.OpAdd:
+		return add(s0, s1)
+	case isa.OpSub:
+		if s0.kind == shapeAffine && s1.kind == shapeAffine {
+			return affineShape(s0.stride - s1.stride)
+		}
+		return unknown
+	case isa.OpMul:
+		return mul(s0, s1)
+	case isa.OpMad:
+		return add(mul(s0, s1), s2)
+	case isa.OpShl:
+		if in.Srcs[1].Kind == isa.OperandImm && s0.kind == shapeAffine {
+			return affineShape(s0.stride << (uint32(in.Srcs[1].Imm) & 31))
+		}
+		return uniformOnly(s0, s1)
+	case isa.OpFMA:
+		return uniformOnly(s0, s1, s2)
+	case isa.OpMin, isa.OpMax, isa.OpAbs, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpNot, isa.OpShr, isa.OpSra, isa.OpDiv, isa.OpRem,
+		isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFMin,
+		isa.OpFMax, isa.OpFRcp, isa.OpFSqrt:
+		// Uniform in, uniform out: identical lane inputs give identical
+		// lane outputs. Affine inputs do not survive these bitwise /
+		// non-linear ops in any shape the table could name.
+		switch in.Op {
+		case isa.OpAbs, isa.OpNot, isa.OpFRcp, isa.OpFSqrt:
+			return uniformOnly(s0)
+		default:
+			return uniformOnly(s0, s1)
+		}
+	}
+	// SelP (lane-divergent select), loads and atomics produce values the
+	// kernel image cannot bound.
+	return unknown
+}
+
+// StaticTable derives the per-register encoding table the "static"
+// compression scheme binds for kernel k: a flow-insensitive fixpoint of the
+// value-shape transfer over the whole code (guarded writes join with the
+// previous shape implicitly, since the fixpoint only widens), then the
+// narrowest BDI class whose worst lane delta the shape provably fits.
+//
+// The table is a pure function of the kernel image — no execution, no
+// profile input — so record, replay and every SM-shard count derive the
+// identical table.
+func StaticTable(k *isa.Kernel) []core.Encoding {
+	n := k.NumRegs
+	if n <= 0 || n > isa.MaxRegs {
+		n = isa.MaxRegs
+	}
+	regs := make([]shape, n)
+	for changed := true; changed; {
+		changed = false
+		for i := range k.Code {
+			in := &k.Code[i]
+			if !in.HasDst() || int(in.Dst) >= n {
+				continue
+			}
+			next := join(regs[in.Dst], transfer(in, regs))
+			if next != regs[in.Dst] {
+				regs[in.Dst] = next
+				changed = true
+			}
+		}
+	}
+	table := make([]core.Encoding, n)
+	for r, s := range regs {
+		table[r] = encodingForShape(s)
+	}
+	return table
+}
+
+// encodingForShape picks the narrowest class whose per-lane delta range
+// covers stride*31 (lane 0 is the base, lane 31 the worst case).
+func encodingForShape(s shape) core.Encoding {
+	if s.kind != shapeAffine {
+		return core.EncUncompressed
+	}
+	d := s.stride * 31
+	switch {
+	case d == 0:
+		return core.Enc40
+	case d >= -128 && d < 128:
+		return core.Enc41
+	case d >= -32768 && d < 32768:
+		return core.Enc42
+	}
+	return core.EncUncompressed
+}

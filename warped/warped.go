@@ -92,6 +92,33 @@ func BestBDIParams(data []byte) (BDIParams, bool) { return core.BestParams(data)
 // returning the encoding the hardware compressor would store.
 func ChooseEncoding(m Mode, vals *WarpReg) Encoding { return m.Choose(vals) }
 
+// --- Compression backends (schemes/v1) ---
+
+// Compressor is one pluggable register-compression backend: a pattern
+// classifier (Choose) plus the per-class codec, all allocation-free on the
+// hot path. See Config.Compression for selecting one by name.
+type Compressor = core.Compressor
+
+// DefaultCompressionScheme is the backend used when Config.Compression is
+// empty: the paper's BDI variant.
+const DefaultCompressionScheme = core.DefaultScheme
+
+// CompressionSchemes lists the registered backend names in sorted order
+// (bdi, fpc, static).
+func CompressionSchemes() []string { return core.Schemes() }
+
+// CompressionSchemeRegistered reports whether name is a registered backend
+// ("" counts as the default scheme).
+func CompressionSchemeRegistered(name string) bool { return core.SchemeRegistered(name) }
+
+// NewCompressor builds a fresh instance of a registered backend by name.
+func NewCompressor(name string) (Compressor, error) { return core.NewCompressor(name) }
+
+// SchemeEnergyParams returns DefaultEnergyParams with the compression-unit
+// constants replaced by the named scheme's costs (energy.CostOfScheme); the
+// cmp1-schemes exhibits use it for honest cross-scheme comparisons.
+func SchemeEnergyParams(name string) EnergyParams { return energy.ParamsForScheme(name) }
+
 // --- GPU model ---
 
 // Config is the full microarchitectural configuration (paper Table 2 plus
