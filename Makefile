@@ -34,7 +34,7 @@ verify:
 # leaves two timestamped artifacts in the repo root:
 #   BENCH_<stamp>.txt   benchstat-comparable text (benchstat old.txt new.txt)
 #   BENCH_<stamp>.json  machine-readable warped.bench/v1 trajectory document
-BENCH ?= SimulatorThroughput|BDI|RegfileAccess|GPUCycleSharded|Compressor
+BENCH ?= SimulatorThroughput|BDI|RegfileAccess|GPUCycleSharded|Compressor|GEMM
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)

@@ -463,3 +463,37 @@ func BenchmarkGPUCycleSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGEMM measures simulation throughput of the compute-dense GEMM
+// tiling ladder, one sub-benchmark per variant. Beyond wall clock it
+// reports the shared-memory serialization cycles per run — the bank model's
+// headline number, which must fall monotonically along the ladder.
+func BenchmarkGEMM(b *testing.B) {
+	for _, variant := range []string{"gemm_naive", "gemm_block", "gemm_warp", "gemm_reg"} {
+		b.Run(variant, func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles, ser uint64
+			for i := 0; i < b.N; i++ {
+				cfg := warped.DefaultConfig()
+				cfg.NumSMs = 4
+				gpu, err := warped.NewGPU(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bench, _ := warped.BenchmarkByName(variant)
+				inst, err := bench.Build(gpu.Mem(), warped.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gpu.Run(inst.Launch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+				ser += res.Stats.SharedSerializationCycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+			b.ReportMetric(float64(ser)/float64(b.N), "shared-ser-cycles/run")
+		})
+	}
+}

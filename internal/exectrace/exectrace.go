@@ -71,8 +71,12 @@ type Rec struct {
 	Active uint32 // SIMT stack active mask at issue
 	Eff    uint32 // guard-filtered execution mask
 	Flags  RecFlags
-	NSegs  uint8  // coalesced 128B segments (global memory ops)
-	Deg    uint16 // shared-memory conflict phases or atomic serialization degree
+	// NSegs is the coalesced 128B segment count for global memory ops. For
+	// shared ops it carries the bank model's distinct-word count instead
+	// (added within v1; older writers left it 0 there, which newer readers
+	// treat as "unknown" and replay with zero bank-level counters).
+	NSegs uint8
+	Deg   uint16 // shared-memory conflict phases or atomic serialization degree
 }
 
 // AtomOp is one lane of an atomic read-modify-write: the target address and
@@ -241,6 +245,13 @@ func (w *WarpStream) validate(k *isa.Kernel) error {
 			segs += int(r.NSegs)
 			if in.Op == isa.OpAtomAdd {
 				atoms += bits.OnesCount32(r.Eff)
+			}
+		case isa.OpLdS, isa.OpStS:
+			// NSegs holds the shared bank model's distinct-word count
+			// here; it references no side pool, but can never exceed the
+			// lanes that requested words.
+			if int(r.NSegs) > bits.OnesCount32(r.Eff) {
+				return fmt.Errorf("rec %d: %d shared words for %d active lanes", i, r.NSegs, bits.OnesCount32(r.Eff))
 			}
 		default:
 			if r.NSegs != 0 {

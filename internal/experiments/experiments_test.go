@@ -35,7 +35,8 @@ func TestIDsCoverEveryPaperExhibit(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"abl1-divergence", "abl2-gating", "abl3-units", "abl4-rfc", "abl5-drowsy",
 		"flt1-faults",
-		"cmp1-schemes-ratio", "cmp1-schemes-energy", "cmp1-schemes-overhead"}
+		"cmp1-schemes-ratio", "cmp1-schemes-energy", "cmp1-schemes-overhead",
+		"gemm1-tiling-ratio", "gemm1-tiling-energy", "gemm1-tiling-time", "gemm1-tiling-shared"}
 	if len(ids) != len(want) {
 		t.Fatalf("%d exhibits, want %d", len(ids), len(want))
 	}

@@ -142,6 +142,13 @@ func (r *Runner) forEach(c sim.Config, fn func(b *kernels.Benchmark, res *sim.Re
 	if err != nil {
 		return err
 	}
+	return r.forEachOf(benches, c, fn)
+}
+
+// forEachOf is forEach over an explicit benchmark list — the family
+// exhibits (gemm1-tiling) run a fixed workload set regardless of the
+// runner's benchmark selection.
+func (r *Runner) forEachOf(benches []*kernels.Benchmark, c sim.Config, fn func(b *kernels.Benchmark, res *sim.Result) error) error {
 	results, errs := r.eng.runAll(benches, c)
 	if r.failures == nil {
 		if err := firstError(errs); err != nil {
@@ -219,6 +226,13 @@ var exhibits = []exhibit{
 	{"cmp1-schemes-ratio", "Compression ratio across registered schemes", (*Runner).SchemesRatio},
 	{"cmp1-schemes-energy", "Register file energy across registered schemes", (*Runner).SchemesEnergy},
 	{"cmp1-schemes-overhead", "Execution time across registered schemes", (*Runner).SchemesOverhead},
+	// GEMM tiling ladder: the compute-dense workload family (gemm_naive →
+	// gemm_reg) under every registered scheme, plus the shared-memory bank
+	// model's view of the same ladder.
+	{"gemm1-tiling-ratio", "GEMM tiling ladder: compression ratio per scheme", (*Runner).GemmTilingRatio},
+	{"gemm1-tiling-energy", "GEMM tiling ladder: register file energy per scheme", (*Runner).GemmTilingEnergy},
+	{"gemm1-tiling-time", "GEMM tiling ladder: execution time per scheme", (*Runner).GemmTilingTime},
+	{"gemm1-tiling-shared", "GEMM tiling ladder: shared-memory bank behavior and register pressure", (*Runner).GemmTilingShared},
 }
 
 // IDs lists every regenerable exhibit in paper order.

@@ -1,0 +1,629 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The gemm family is a compute-dense workload ladder: four kernels that
+// compute the same row-major int32 C = A·B but move the operand reuse one
+// level closer to the execution units at each step — global memory only
+// (gemm_naive), a CTA-wide shared-memory tile (gemm_block), warp-private
+// sub-tiles of a shared tile (gemm_warp), and per-thread register
+// accumulator sub-tiles (gemm_reg). Along the ladder shared-memory
+// bank-conflict serialization falls (gemm_block's transposed B staging is
+// deliberately 8-way conflicted, gemm_warp's A fragment reads 4-way,
+// gemm_reg's padded layouts are conflict-free) while per-thread register
+// count and accumulator pressure rise — which is exactly the operand
+// population the register-compression schemes see shift from value-similar
+// addresses toward live accumulators.
+//
+// All four share one parameter block: %param0=A %param1=B %param2=C
+// %param3=M %param4=N %param5=K. Inputs are narrow (-8..7) so int32
+// accumulation never saturates the similarity the paper's §3 observation
+// relies on. Ragged shapes (dimensions not multiples of the tile) are
+// handled with clamped staging loads and guarded stores; every thread stays
+// alive through all barriers.
+
+// gemmNaiveSrc: one thread per C element, K-loop over global memory.
+// Block 16x16, no shared memory, ~12 registers.
+const gemmNaiveSrc = `
+.kernel gemm_naive
+	mov  r0, %tid.x
+	mov  r1, %tid.y
+	mad  r2, %ctaid.x, 16, r0        // col
+	mad  r3, %ctaid.y, 16, r1        // row
+	setp.lt p0, r3, %param3
+@!p0	exit
+	setp.lt p1, r2, %param4
+@!p1	exit
+	mul  r4, r3, %param5
+	shl  r4, r4, 2
+	add  r4, r4, %param0             // &A[row][0]
+	shl  r5, r2, 2
+	add  r5, r5, %param1             // &B[0][col]
+	shl  r6, %param4, 2              // B row stride
+	mov  r7, 0                       // acc
+	mov  r8, 0                       // k
+Lk:
+	ld.global r9, [r4]
+	ld.global r10, [r5]
+	mad  r7, r9, r10, r7
+	add  r4, r4, 4
+	add  r5, r5, r6
+	add  r8, r8, 1
+	setp.lt p2, r8, %param5
+@p2	bra Lk
+	mul  r11, r3, %param4
+	add  r11, r11, r2
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	st.global [r11], r7
+	exit
+`
+
+// gemmBlockSrc: classic CTA tiling. A 16x16 A tile (As, words 0..255) and a
+// transposed, unpadded 16x16 B tile (BsT[tx][ty], words 256..511). The
+// transposed layout is the textbook mistake kept on purpose: BsT staging
+// stores and the inner-loop B reads both land 16 words on 2 banks — an
+// 8-way conflict the bank model must surface. Block 16x16, ~18 registers.
+const gemmBlockSrc = `
+.kernel gemm_block
+.shared 2048
+	mov  r0, %tid.x
+	mov  r1, %tid.y
+	mad  r2, %ctaid.x, 16, r0        // col
+	mad  r3, %ctaid.y, 16, r1        // row
+	mov  r4, 0                       // acc
+	mov  r5, 0                       // k0: K base of the current tile
+	shl  r6, r1, 6
+	mad  r6, r0, 4, r6               // &As[ty][tx]
+	shl  r7, r0, 6
+	mad  r7, r1, 4, r7
+	add  r7, r7, 1024                // &BsT[tx][ty]
+	shl  r8, r1, 6                   // A scan base = &As[ty][0]
+	shl  r9, r0, 6
+	add  r9, r9, 1024                // B scan base = &BsT[tx][0]
+Ltile:
+	add  r10, r5, r0                 // ka = k0 + tx
+	setp.lt p0, r3, %param3
+	setp.lt p1, r10, %param5
+	mul  r11, r3, %param5
+	add  r11, r11, r10
+	selp r11, r11, 0, p0
+	selp r11, r11, 0, p1
+	shl  r11, r11, 2
+	add  r11, r11, %param0
+	ld.global r12, [r11]             // A[row][ka], index clamped if ragged
+	selp r12, r12, 0, p0
+	selp r12, r12, 0, p1
+	st.shared [r6], r12
+	add  r10, r5, r1                 // kb = k0 + ty
+	setp.lt p0, r10, %param5
+	setp.lt p2, r2, %param4
+	mul  r11, r10, %param4
+	add  r11, r11, r2
+	selp r11, r11, 0, p0
+	selp r11, r11, 0, p2
+	shl  r11, r11, 2
+	add  r11, r11, %param1
+	ld.global r12, [r11]             // B[kb][col]
+	selp r12, r12, 0, p0
+	selp r12, r12, 0, p2
+	st.shared [r7], r12
+	bar.sync
+	mov  r13, 0                      // kk
+	mov  r14, r8
+	mov  r15, r9
+Lkk:
+	ld.shared r16, [r14]             // As[ty][kk]: 16-lane broadcast
+	ld.shared r17, [r15]             // BsT[tx][kk]: 8-way bank conflict
+	mad  r4, r16, r17, r4
+	add  r14, r14, 4
+	add  r15, r15, 4
+	add  r13, r13, 1
+	setp.lt p3, r13, 16
+@p3	bra Lkk
+	bar.sync
+	add  r5, r5, 16
+	setp.lt p3, r5, %param5
+@p3	bra Ltile
+	setp.lt p0, r3, %param3
+@!p0	bra Ldone
+	setp.lt p1, r2, %param4
+	mul  r11, r3, %param4
+	add  r11, r11, r2
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+@p1	st.global [r11], r4
+Ldone:
+	exit
+`
+
+// gemmWarpSrc: a 32x32 CTA tile computed by 4 warps, each owning a 16x16
+// sub-tile; every lane accumulates a 4x2 register fragment. The A tile
+// (words 0..511, stride 16) is left unpadded so the four A-fragment reads
+// of a warp hit one bank (4-way conflict, 8-lane broadcast); the B tile
+// (words 512..1039) is padded to stride 33, making its reads conflict-free.
+// Block 128x1, ~33 registers.
+const gemmWarpSrc = `
+.kernel gemm_warp
+.shared 4160
+	mov  r0, %tid.x
+	shr  r1, %warpid, 1              // warp tile row
+	and  r2, %warpid, 1              // warp tile col
+	shr  r3, %laneid, 3              // lane row group
+	and  r4, %laneid, 7              // lane col group
+	shl  r5, r1, 4
+	mad  r5, r3, 4, r5               // lrow0 = wr*16 + ly*4
+	shl  r6, r2, 4
+	mad  r6, r4, 2, r6               // lcol0 = wc*16 + lx*2
+	mad  r7, %ctaid.y, 32, r5        // grow0
+	mad  r8, %ctaid.x, 32, r6        // gcol0
+	shl  r31, r5, 6                  // A scan base = &As[lrow0][0]
+	shl  r32, r6, 2
+	add  r32, r32, 2048              // B scan base = &Bs[0][lcol0]
+	mov  r16, 0
+	mov  r17, 0
+	mov  r18, 0
+	mov  r19, 0
+	mov  r20, 0
+	mov  r21, 0
+	mov  r22, 0
+	mov  r23, 0
+	mov  r9, 0                       // k0
+Ltile:
+	mov  r10, r0                     // stage As: elements t, t+128, ...
+LsA:
+	shr  r11, r10, 4                 // tile row
+	and  r12, r10, 15                // tile k
+	mad  r13, %ctaid.y, 32, r11      // global row
+	add  r14, r9, r12                // global k
+	setp.lt p0, r13, %param3
+	setp.lt p1, r14, %param5
+	mul  r15, r13, %param5
+	add  r15, r15, r14
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	shl  r15, r15, 2
+	add  r15, r15, %param0
+	ld.global r15, [r15]
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	shl  r11, r10, 2                 // As word = row*16 + k = e
+	st.shared [r11], r15
+	add  r10, r10, 128
+	setp.lt p2, r10, 512
+@p2	bra LsA
+	mov  r10, r0                     // stage Bs
+LsB:
+	shr  r11, r10, 5                 // tile k
+	and  r12, r10, 31                // tile col
+	add  r13, r9, r11                // global k
+	mad  r14, %ctaid.x, 32, r12      // global col
+	setp.lt p0, r13, %param5
+	setp.lt p1, r14, %param4
+	mul  r15, r13, %param4
+	add  r15, r15, r14
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	shl  r15, r15, 2
+	add  r15, r15, %param1
+	ld.global r15, [r15]
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	mul  r11, r11, 33                // Bs word = 512 + k*33 + col
+	add  r11, r11, r12
+	shl  r11, r11, 2
+	add  r11, r11, 2048
+	st.shared [r11], r15
+	add  r10, r10, 128
+	setp.lt p2, r10, 512
+@p2	bra LsB
+	bar.sync
+	mov  r30, 0                      // kk
+	mov  r14, r31
+	mov  r15, r32
+Lkk:
+	ld.shared r24, [r14]             // A fragment: 4 rows, one bank (4-way)
+	ld.shared r25, [r14+64]
+	ld.shared r26, [r14+128]
+	ld.shared r27, [r14+192]
+	ld.shared r28, [r15]             // B fragment: padded, conflict-free
+	ld.shared r29, [r15+4]
+	mad  r16, r24, r28, r16
+	mad  r17, r24, r29, r17
+	mad  r18, r25, r28, r18
+	mad  r19, r25, r29, r19
+	mad  r20, r26, r28, r20
+	mad  r21, r26, r29, r21
+	mad  r22, r27, r28, r22
+	mad  r23, r27, r29, r23
+	add  r14, r14, 4
+	add  r15, r15, 132
+	add  r30, r30, 1
+	setp.lt p2, r30, 16
+@p2	bra Lkk
+	bar.sync
+	add  r9, r9, 16
+	setp.lt p2, r9, %param5
+@p2	bra Ltile
+	setp.lt p0, r7, %param3          // row grow0+0
+@!p0	bra Lc1
+	mul  r11, r7, %param4
+	add  r11, r11, r8
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r8, %param4
+@p1	st.global [r11], r16
+	add  r12, r8, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r17
+Lc1:
+	add  r10, r7, 1
+	setp.lt p0, r10, %param3
+@!p0	bra Lc2
+	mul  r11, r10, %param4
+	add  r11, r11, r8
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r8, %param4
+@p1	st.global [r11], r18
+	add  r12, r8, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r19
+Lc2:
+	add  r10, r7, 2
+	setp.lt p0, r10, %param3
+@!p0	bra Lc3
+	mul  r11, r10, %param4
+	add  r11, r11, r8
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r8, %param4
+@p1	st.global [r11], r20
+	add  r12, r8, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r21
+Lc3:
+	add  r10, r7, 3
+	setp.lt p0, r10, %param3
+@!p0	bra Ldone
+	mul  r11, r10, %param4
+	add  r11, r11, r8
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r8, %param4
+@p1	st.global [r11], r22
+	add  r12, r8, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r23
+Ldone:
+	exit
+`
+
+// gemmRegSrc: the register-tiled ceiling of the ladder. A 32x32 CTA tile
+// computed by 64 threads, each owning a 4x4 register accumulator fragment
+// (16 live accumulators, ~41 registers/thread — the family's register-
+// pressure maximum). Both shared tiles are padded (A to stride 17, B to
+// stride 33) so every inner-loop read is conflict-free; per kk iteration a
+// thread performs 8 shared reads and 16 MADs. Block 64x1.
+const gemmRegSrc = `
+.kernel gemm_reg
+.shared 4288
+	mov  r0, %tid.x
+	shr  r1, r0, 3                   // thread tile row
+	and  r2, r0, 7                   // thread tile col
+	shl  r3, r1, 2                   // lrow0
+	shl  r4, r2, 2                   // lcol0
+	mad  r5, %ctaid.y, 32, r3        // grow0
+	mad  r6, %ctaid.x, 32, r4        // gcol0
+	mul  r7, r3, 68                  // A scan base = &As[lrow0][0], stride 17
+	shl  r8, r2, 4
+	add  r8, r8, 2176                // B scan base = &Bs[0][lcol0]
+	mov  r16, 0
+	mov  r17, 0
+	mov  r18, 0
+	mov  r19, 0
+	mov  r20, 0
+	mov  r21, 0
+	mov  r22, 0
+	mov  r23, 0
+	mov  r24, 0
+	mov  r25, 0
+	mov  r26, 0
+	mov  r27, 0
+	mov  r28, 0
+	mov  r29, 0
+	mov  r30, 0
+	mov  r31, 0
+	mov  r9, 0                       // k0
+	and  r41, r0, 31                 // As staging row (one lane per row:
+	shr  r42, r0, 5                  // 17*row mod 32 is a bijection, so the
+	shl  r42, r42, 3                 // 32 stores of a warp hit 32 banks)
+	mad  r43, %ctaid.y, 32, r41      // global staging row
+	mul  r44, r41, 17                // As staging row word base
+Ltile:
+	mov  r10, 0                      // stage As: k slots colbase+0..7
+LsA:
+	add  r12, r42, r10               // tile k
+	add  r13, r9, r12                // global k
+	setp.lt p0, r43, %param3
+	setp.lt p1, r13, %param5
+	mul  r15, r43, %param5
+	add  r15, r15, r13
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	shl  r15, r15, 2
+	add  r15, r15, %param0
+	ld.global r15, [r15]
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	add  r11, r44, r12               // As word = row*17 + k (padded)
+	shl  r11, r11, 2
+	st.shared [r11], r15
+	add  r10, r10, 1
+	setp.lt p2, r10, 8
+@p2	bra LsA
+	mov  r10, r0                     // stage Bs
+LsB:
+	shr  r11, r10, 5                 // tile k
+	and  r12, r10, 31                // tile col
+	add  r13, r9, r11                // global k
+	mad  r14, %ctaid.x, 32, r12      // global col
+	setp.lt p0, r13, %param5
+	setp.lt p1, r14, %param4
+	mul  r15, r13, %param4
+	add  r15, r15, r14
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	shl  r15, r15, 2
+	add  r15, r15, %param1
+	ld.global r15, [r15]
+	selp r15, r15, 0, p0
+	selp r15, r15, 0, p1
+	mul  r11, r11, 33                // Bs word = 544 + k*33 + col (padded)
+	add  r11, r11, r12
+	add  r11, r11, 544
+	shl  r11, r11, 2
+	st.shared [r11], r15
+	add  r10, r10, 64
+	setp.lt p2, r10, 512
+@p2	bra LsB
+	bar.sync
+	mov  r40, 0                      // kk
+	mov  r14, r7
+	mov  r15, r8
+Lkk:
+	ld.shared r32, [r14]             // A fragment: padded, conflict-free
+	ld.shared r33, [r14+68]
+	ld.shared r34, [r14+136]
+	ld.shared r35, [r14+204]
+	ld.shared r36, [r15]             // B fragment: padded, conflict-free
+	ld.shared r37, [r15+4]
+	ld.shared r38, [r15+8]
+	ld.shared r39, [r15+12]
+	mad  r16, r32, r36, r16
+	mad  r17, r32, r37, r17
+	mad  r18, r32, r38, r18
+	mad  r19, r32, r39, r19
+	mad  r20, r33, r36, r20
+	mad  r21, r33, r37, r21
+	mad  r22, r33, r38, r22
+	mad  r23, r33, r39, r23
+	mad  r24, r34, r36, r24
+	mad  r25, r34, r37, r25
+	mad  r26, r34, r38, r26
+	mad  r27, r34, r39, r27
+	mad  r28, r35, r36, r28
+	mad  r29, r35, r37, r29
+	mad  r30, r35, r38, r30
+	mad  r31, r35, r39, r31
+	add  r14, r14, 4
+	add  r15, r15, 132
+	add  r40, r40, 1
+	setp.lt p2, r40, 16
+@p2	bra Lkk
+	bar.sync
+	add  r9, r9, 16
+	setp.lt p2, r9, %param5
+@p2	bra Ltile
+	setp.lt p0, r5, %param3          // row grow0+0
+@!p0	bra Lc1
+	mul  r11, r5, %param4
+	add  r11, r11, r6
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r6, %param4
+@p1	st.global [r11], r16
+	add  r12, r6, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r17
+	add  r12, r6, 2
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+8], r18
+	add  r12, r6, 3
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+12], r19
+Lc1:
+	add  r10, r5, 1
+	setp.lt p0, r10, %param3
+@!p0	bra Lc2
+	mul  r11, r10, %param4
+	add  r11, r11, r6
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r6, %param4
+@p1	st.global [r11], r20
+	add  r12, r6, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r21
+	add  r12, r6, 2
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+8], r22
+	add  r12, r6, 3
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+12], r23
+Lc2:
+	add  r10, r5, 2
+	setp.lt p0, r10, %param3
+@!p0	bra Lc3
+	mul  r11, r10, %param4
+	add  r11, r11, r6
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r6, %param4
+@p1	st.global [r11], r24
+	add  r12, r6, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r25
+	add  r12, r6, 2
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+8], r26
+	add  r12, r6, 3
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+12], r27
+Lc3:
+	add  r10, r5, 3
+	setp.lt p0, r10, %param3
+@!p0	bra Ldone
+	mul  r11, r10, %param4
+	add  r11, r11, r6
+	shl  r11, r11, 2
+	add  r11, r11, %param2
+	setp.lt p1, r6, %param4
+@p1	st.global [r11], r28
+	add  r12, r6, 1
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+4], r29
+	add  r12, r6, 2
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+8], r30
+	add  r12, r6, 3
+	setp.lt p1, r12, %param4
+@p1	st.global [r11+12], r31
+Ldone:
+	exit
+`
+
+// gemmVariant describes one rung of the tiling ladder.
+type gemmVariant struct {
+	src   string
+	block isa.Dim3
+	tile  int // C tile edge covered by one CTA
+}
+
+var gemmVariants = map[string]gemmVariant{
+	"gemm_naive": {gemmNaiveSrc, isa.Dim3{X: 16, Y: 16}, 16},
+	"gemm_block": {gemmBlockSrc, isa.Dim3{X: 16, Y: 16}, 16},
+	"gemm_warp":  {gemmWarpSrc, isa.Dim3{X: 128}, 32},
+	"gemm_reg":   {gemmRegSrc, isa.Dim3{X: 64}, 32},
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "gemm_naive",
+		Suite:       "tiling",
+		Description: "dense int32 GEMM, one thread per element, no data reuse",
+		Build:       buildGEMMScale("gemm_naive"),
+	})
+	register(&Benchmark{
+		Name:        "gemm_block",
+		Suite:       "tiling",
+		Description: "dense int32 GEMM, 16x16 CTA tiles; transposed B staging is 8-way bank-conflicted",
+		Build:       buildGEMMScale("gemm_block"),
+	})
+	register(&Benchmark{
+		Name:        "gemm_warp",
+		Suite:       "tiling",
+		Description: "dense int32 GEMM, warp-level 16x16 sub-tiles with 4x2 lane fragments; 4-way A-read conflicts",
+		Build:       buildGEMMScale("gemm_warp"),
+	})
+	register(&Benchmark{
+		Name:        "gemm_reg",
+		Suite:       "tiling",
+		Description: "dense int32 GEMM, per-thread 4x4 register accumulator tiles; padded conflict-free shared layout",
+		Build:       buildGEMMScale("gemm_reg"),
+	})
+}
+
+// buildGEMMScale adapts the shape-explicit builder to the registry's
+// scale-based signature. All variants share the per-shape input generator,
+// so every rung of the ladder computes the identical C for a given scale —
+// what lets the tiling exhibits compare them element for element.
+func buildGEMMScale(variant string) func(m *mem.Global, s Scale) (*Instance, error) {
+	return func(m *mem.Global, s Scale) (*Instance, error) {
+		n := s.pick(32, 96, 192)
+		return BuildGEMMInstance(m, variant, n, n, n)
+	}
+}
+
+// BuildGEMMInstance builds one gemm-family launch for an arbitrary MxNxK
+// shape (C is MxN, A is MxK, B is KxN; all row-major int32). Inputs depend
+// only on the shape, never on the variant. Exported for the cross-variant
+// correctness tests, which exercise ragged shapes the registry scales never
+// hit.
+func BuildGEMMInstance(m *mem.Global, variant string, M, N, K int) (*Instance, error) {
+	v, ok := gemmVariants[variant]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown gemm variant %q", variant)
+	}
+	if M < 1 || N < 1 || K < 1 {
+		return nil, fmt.Errorf("kernels: gemm shape %dx%dx%d must be positive", M, N, K)
+	}
+
+	r := rng(0x9e3d ^ int64(M)<<20 ^ int64(N)<<10 ^ int64(K))
+	a := make([]int32, M*K)
+	for i := range a {
+		a[i] = int32(r.Intn(16) - 8)
+	}
+	b := make([]int32, K*N)
+	for i := range b {
+		b[i] = int32(r.Intn(16) - 8)
+	}
+
+	aAddr, err := allocInt32(m, a)
+	if err != nil {
+		return nil, err
+	}
+	bAddr, err := allocInt32(m, b)
+	if err != nil {
+		return nil, err
+	}
+	cAddr, err := m.Alloc(4 * M * N)
+	if err != nil {
+		return nil, err
+	}
+
+	want := hostGEMM(a, b, M, N, K)
+	grid := isa.Dim3{X: (N + v.tile - 1) / v.tile, Y: (M + v.tile - 1) / v.tile}
+
+	return &Instance{
+		Launch: isa.Launch{
+			Kernel: mustKernel(variant, v.src),
+			Grid:   grid,
+			Block:  v.block,
+			Params: [isa.NumParams]uint32{aAddr, bAddr, cAddr, uint32(M), uint32(N), uint32(K)},
+		},
+		Check: func(m *mem.Global) error {
+			return checkInt32(m, cAddr, want, variant+".C")
+		},
+	}, nil
+}
+
+// hostGEMM is the shared reference: a plain triple loop whose int32
+// wrap-around semantics match the ISA's mul/add exactly.
+func hostGEMM(a, b []int32, M, N, K int) []int32 {
+	c := make([]int32, M*N)
+	for i := 0; i < M; i++ {
+		for k := 0; k < K; k++ {
+			av := a[i*K+k]
+			for j := 0; j < N; j++ {
+				c[i*N+j] += av * b[k*N+j]
+			}
+		}
+	}
+	return c
+}

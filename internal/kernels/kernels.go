@@ -1,9 +1,9 @@
-// Package kernels provides the 22 benchmark workloads the evaluation runs:
+// Package kernels provides the 26 benchmark workloads the evaluation runs:
 // hand-written ISA ports of the Rodinia / Parboil / GPGPU-Sim benchmarks the
-// paper uses, each with an input generator reproducing the original's
-// register-value character (thread-index-derived values, narrow-dynamic-range
-// inputs, and its divergence pattern) and a host-side reference
-// implementation that validates the simulated output.
+// paper uses plus the gemm tiling family, each with an input generator
+// reproducing the original's register-value character (thread-index-derived
+// values, narrow-dynamic-range inputs, and its divergence pattern) and a
+// host-side reference implementation that validates the simulated output.
 package kernels
 
 import (
@@ -62,7 +62,7 @@ type Instance struct {
 // Benchmark is one registered workload.
 type Benchmark struct {
 	Name        string
-	Suite       string // "rodinia", "parboil" or "gpgpu-sim"
+	Suite       string // "rodinia", "parboil", "gpgpu-sim" or "tiling"
 	Description string
 	// Build generates inputs in device memory and returns the launch.
 	Build func(m *mem.Global, s Scale) (*Instance, error)

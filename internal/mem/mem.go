@@ -201,47 +201,6 @@ func CoalesceSegments(addrs *[isa.WarpSize]uint32, mask uint32) int {
 	return n
 }
 
-// SharedConflictDegree returns the maximum number of distinct words mapped
-// to one shared-memory bank by the active lanes — the number of serialized
-// access phases (32 word-interleaved banks; broadcasts of the same word are
-// conflict-free).
-func SharedConflictDegree(addrs *[isa.WarpSize]uint32, mask uint32) int {
-	// A word's value determines its bank, so deduplicating words globally
-	// and counting occupancy per bank is equivalent to keeping per-bank
-	// word lists — and needs only fixed-size stack arrays.
-	var seen [isa.WarpSize]uint32
-	var count [32]uint8
-	n := 0
-	degree := 0
-	for lane := 0; lane < isa.WarpSize; lane++ {
-		if mask&(1<<lane) == 0 {
-			continue
-		}
-		word := addrs[lane] / 4
-		dup := false
-		for _, w := range seen[:n] {
-			if w == word {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		seen[n] = word
-		n++
-		b := word % 32
-		count[b]++
-		if int(count[b]) > degree {
-			degree = int(count[b])
-		}
-	}
-	if degree == 0 {
-		return 1
-	}
-	return degree
-}
-
 // Pipe is the global-memory timing model: transactions issue at one per
 // cycle, each completes after Latency cycles, and at most MaxInflight may be
 // outstanding.

@@ -20,6 +20,8 @@ type execResult struct {
 	segBuf    [isa.WarpSize]uint32 // backing for the coalesced segment list
 	nsegs     int                  // coalesced 128-byte segments (global memory ops)
 	sharedDeg int                  // shared-memory conflict phases (shared ops)
+	sharedWds int                  // distinct shared words fetched — bank row activations
+	sharedBc  int                  // shared lane requests served by another lane's fetch
 	atomDeg   int                  // same-address serialization phases (atomics)
 }
 
@@ -301,7 +303,10 @@ func (s *SM) memTiming(res *execResult, global bool, eff uint32) {
 	if global {
 		res.nsegs = len(mem.CoalesceSegmentList(&res.addrs, eff, res.segBuf[:0]))
 	} else {
-		res.sharedDeg = mem.SharedConflictDegree(&res.addrs, eff)
+		sa := mem.AnalyzeShared(&res.addrs, eff, mem.SharedWordBytes)
+		res.sharedDeg = sa.Phases
+		res.sharedWds = sa.Words
+		res.sharedBc = sa.BroadcastHits
 	}
 }
 

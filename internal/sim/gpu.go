@@ -239,17 +239,18 @@ func (g *GPU) run(ctx context.Context, l isa.Launch, beat *atomic.Uint64) (*Resu
 		st := sm.finalize(cycle)
 		res.Stats.Add(st)
 		res.Energy.Add(energy.Events{
-			BankAccesses:      st.RF.BankReads + st.RF.BankWrites,
-			WireBeats:         st.RF.BankReads + st.RF.BankWrites,
-			CompActs:          st.CompActs,
-			DecompActs:        st.DecompActs,
-			RFCAccesses:       st.RFCReads + st.RFCWrites,
-			RFCKB:             rfcKB,
-			PoweredBankCycles: st.RF.PoweredBankCycles,
-			DrowsyBankCycles:  st.RF.DrowsyBankCycles,
-			Cycles:            cycle,
-			CompUnits:         compUnits,
-			DecompUnits:       decompUnits,
+			BankAccesses:       st.RF.BankReads + st.RF.BankWrites,
+			WireBeats:          st.RF.BankReads + st.RF.BankWrites,
+			CompActs:           st.CompActs,
+			DecompActs:         st.DecompActs,
+			RFCAccesses:        st.RFCReads + st.RFCWrites,
+			RFCKB:              rfcKB,
+			SharedBankAccesses: st.SharedBankAccesses,
+			PoweredBankCycles:  st.RF.PoweredBankCycles,
+			DrowsyBankCycles:   st.RF.DrowsyBankCycles,
+			Cycles:             cycle,
+			CompUnits:          compUnits,
+			DecompUnits:        decompUnits,
 		})
 	}
 	return res, nil

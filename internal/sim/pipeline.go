@@ -241,6 +241,12 @@ func (s *SM) startExec(f *inflight) bool {
 			return s.startGlobal(f)
 		}
 		s.st.SharedAccess++
+		s.st.SharedBankAccesses += uint64(f.res.sharedWds)
+		s.st.SharedBroadcastHits += uint64(f.res.sharedBc)
+		if f.res.sharedDeg > 1 {
+			s.st.SharedConflicts++
+			s.st.SharedSerializationCycles += uint64(f.res.sharedDeg - 1)
+		}
 		f.readyAt = s.cycle + uint64(s.cfg.SharedLatency+f.res.sharedDeg-1)
 		return true
 	case isa.ClassSFU:

@@ -158,6 +158,11 @@ func (v *recView) record(w *Warp, in *isa.Instr, pc int32, active, eff uint32, r
 		}
 	case isa.OpLdS, isa.OpStS:
 		rec.Deg = uint16(res.sharedDeg)
+		// Distinct-word count of the bank model; broadcast hits are
+		// re-derived at replay as popcount(eff) - words, so the record
+		// stays one byte. Both are pure functions of the lane addresses,
+		// never of the recording configuration.
+		rec.NSegs = uint8(res.sharedWds)
 	}
 	ws.Recs = append(ws.Recs, rec)
 	v.pend = v.pend[:0]

@@ -155,5 +155,12 @@ func (s *SM) replayMemAux(st *exectrace.WarpStream, w *Warp, in *isa.Instr, r *e
 		}
 	default:
 		res.sharedDeg = int(r.Deg)
+		// Older v1 traces carry no word count for shared ops (NSegs was
+		// always 0 there); they replay with zero bank-level counters while
+		// phases — the timing-relevant part — still come from Deg.
+		res.sharedWds = int(r.NSegs)
+		if res.sharedWds > 0 {
+			res.sharedBc = bits.OnesCount32(r.Eff) - res.sharedWds
+		}
 	}
 }

@@ -89,6 +89,14 @@ type statsJSON struct {
 	L1Hits       uint64 `json:"l1_hits"`
 	L1Misses     uint64 `json:"l1_misses"`
 
+	// Shared-memory bank-model counters, added within v1; zero (and
+	// omitted) for workloads that never touch shared memory, so such
+	// documents are byte-identical to pre-bank-model writers.
+	SharedBankAccesses        uint64 `json:"shared_bank_accesses,omitempty"`
+	SharedConflicts           uint64 `json:"shared_conflicts,omitempty"`
+	SharedSerializationCycles uint64 `json:"shared_serialization_cycles,omitempty"`
+	SharedBroadcastHits       uint64 `json:"shared_broadcast_hits,omitempty"`
+
 	StallScoreboard uint64 `json:"stall_scoreboard"`
 	StallCollector  uint64 `json:"stall_collector"`
 	StallCompressor uint64 `json:"stall_compressor"`
@@ -114,6 +122,8 @@ type energyEventsJSON struct {
 	Cycles            uint64 `json:"cycles"`
 	CompUnits         int    `json:"compressor_units"`
 	DecompUnits       int    `json:"decompressor_units"`
+	// Added within v1 (shared-memory bank model); omitted when zero.
+	SharedBankAccesses uint64 `json:"shared_bank_accesses,omitempty"`
 }
 
 type resultJSON struct {
@@ -158,20 +168,25 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 			ReadBeforeWrite:    s.RF.ReadBeforeWrite,
 			RedirectedWrites:   s.RF.RedirectedWrites,
 		},
-		CompActs:        s.CompActs,
-		DecompActs:      s.DecompActs,
-		RFCReads:        s.RFCReads,
-		RFCReadMisses:   s.RFCReadMisses,
-		RFCWrites:       s.RFCWrites,
-		RFCEvictions:    s.RFCEvictions,
-		GlobalTxns:      s.GlobalTxns,
-		SharedAccess:    s.SharedAccess,
-		L1Hits:          s.L1Hits,
-		L1Misses:        s.L1Misses,
-		StallScoreboard: s.StallScoreboard,
-		StallCollector:  s.StallCollector,
-		StallCompressor: s.StallCompressor,
-		StallWakeup:     s.StallWakeup,
+		CompActs:      s.CompActs,
+		DecompActs:    s.DecompActs,
+		RFCReads:      s.RFCReads,
+		RFCReadMisses: s.RFCReadMisses,
+		RFCWrites:     s.RFCWrites,
+		RFCEvictions:  s.RFCEvictions,
+		GlobalTxns:    s.GlobalTxns,
+		SharedAccess:  s.SharedAccess,
+		L1Hits:        s.L1Hits,
+		L1Misses:      s.L1Misses,
+
+		SharedBankAccesses:        s.SharedBankAccesses,
+		SharedConflicts:           s.SharedConflicts,
+		SharedSerializationCycles: s.SharedSerializationCycles,
+		SharedBroadcastHits:       s.SharedBroadcastHits,
+		StallScoreboard:           s.StallScoreboard,
+		StallCollector:            s.StallCollector,
+		StallCompressor:           s.StallCompressor,
+		StallWakeup:               s.StallWakeup,
 
 		FaultStuckWrites:    s.FaultStuckWrites,
 		FaultCorruptedLanes: s.FaultCorruptedLanes,
@@ -184,17 +199,18 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Cycles: r.Cycles,
 		Stats:  sj,
 		EnergyEvents: energyEventsJSON{
-			BankAccesses:      r.Energy.BankAccesses,
-			WireBeats:         r.Energy.WireBeats,
-			CompActs:          r.Energy.CompActs,
-			DecompActs:        r.Energy.DecompActs,
-			RFCAccesses:       r.Energy.RFCAccesses,
-			RFCKB:             r.Energy.RFCKB,
-			PoweredBankCycles: r.Energy.PoweredBankCycles,
-			DrowsyBankCycles:  r.Energy.DrowsyBankCycles,
-			Cycles:            r.Energy.Cycles,
-			CompUnits:         r.Energy.CompUnits,
-			DecompUnits:       r.Energy.DecompUnits,
+			BankAccesses:       r.Energy.BankAccesses,
+			WireBeats:          r.Energy.WireBeats,
+			CompActs:           r.Energy.CompActs,
+			DecompActs:         r.Energy.DecompActs,
+			RFCAccesses:        r.Energy.RFCAccesses,
+			RFCKB:              r.Energy.RFCKB,
+			PoweredBankCycles:  r.Energy.PoweredBankCycles,
+			DrowsyBankCycles:   r.Energy.DrowsyBankCycles,
+			Cycles:             r.Energy.Cycles,
+			CompUnits:          r.Energy.CompUnits,
+			DecompUnits:        r.Energy.DecompUnits,
+			SharedBankAccesses: r.Energy.SharedBankAccesses,
 		},
 	})
 }
@@ -248,6 +264,10 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	s.SharedAccess = sj.SharedAccess
 	s.L1Hits = sj.L1Hits
 	s.L1Misses = sj.L1Misses
+	s.SharedBankAccesses = sj.SharedBankAccesses
+	s.SharedConflicts = sj.SharedConflicts
+	s.SharedSerializationCycles = sj.SharedSerializationCycles
+	s.SharedBroadcastHits = sj.SharedBroadcastHits
 	s.StallScoreboard = sj.StallScoreboard
 	s.StallCollector = sj.StallCollector
 	s.StallCompressor = sj.StallCompressor
@@ -256,17 +276,18 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	s.FaultCorruptedLanes = sj.FaultCorruptedLanes
 	s.FaultTransientFlips = sj.FaultTransientFlips
 	r.Energy = energy.Events{
-		BankAccesses:      doc.EnergyEvents.BankAccesses,
-		WireBeats:         doc.EnergyEvents.WireBeats,
-		CompActs:          doc.EnergyEvents.CompActs,
-		DecompActs:        doc.EnergyEvents.DecompActs,
-		RFCAccesses:       doc.EnergyEvents.RFCAccesses,
-		RFCKB:             doc.EnergyEvents.RFCKB,
-		PoweredBankCycles: doc.EnergyEvents.PoweredBankCycles,
-		DrowsyBankCycles:  doc.EnergyEvents.DrowsyBankCycles,
-		Cycles:            doc.EnergyEvents.Cycles,
-		CompUnits:         doc.EnergyEvents.CompUnits,
-		DecompUnits:       doc.EnergyEvents.DecompUnits,
+		BankAccesses:       doc.EnergyEvents.BankAccesses,
+		WireBeats:          doc.EnergyEvents.WireBeats,
+		CompActs:           doc.EnergyEvents.CompActs,
+		DecompActs:         doc.EnergyEvents.DecompActs,
+		RFCAccesses:        doc.EnergyEvents.RFCAccesses,
+		RFCKB:              doc.EnergyEvents.RFCKB,
+		PoweredBankCycles:  doc.EnergyEvents.PoweredBankCycles,
+		DrowsyBankCycles:   doc.EnergyEvents.DrowsyBankCycles,
+		Cycles:             doc.EnergyEvents.Cycles,
+		CompUnits:          doc.EnergyEvents.CompUnits,
+		DecompUnits:        doc.EnergyEvents.DecompUnits,
+		SharedBankAccesses: doc.EnergyEvents.SharedBankAccesses,
 	}
 	return nil
 }

@@ -96,6 +96,14 @@ type Stats struct {
 	L1Hits       uint64
 	L1Misses     uint64
 
+	// Shared-memory bank model (32 banks x 4 B, mem.AnalyzeShared).
+	// SharedAccess above counts warp-level shared instructions; these break
+	// them down at bank granularity.
+	SharedBankAccesses        uint64 // distinct words fetched — bank row activations
+	SharedConflicts           uint64 // warp accesses that needed more than one phase
+	SharedSerializationCycles uint64 // extra phases beyond the first, summed
+	SharedBroadcastHits       uint64 // lane requests served by another lane's fetch
+
 	// Structural stall diagnostics (useful for latency-sweep analysis).
 	StallScoreboard uint64
 	StallCollector  uint64
@@ -158,6 +166,10 @@ func (s *Stats) Add(o *Stats) {
 	s.SharedAccess += o.SharedAccess
 	s.L1Hits += o.L1Hits
 	s.L1Misses += o.L1Misses
+	s.SharedBankAccesses += o.SharedBankAccesses
+	s.SharedConflicts += o.SharedConflicts
+	s.SharedSerializationCycles += o.SharedSerializationCycles
+	s.SharedBroadcastHits += o.SharedBroadcastHits
 	s.StallScoreboard += o.StallScoreboard
 	s.StallCollector += o.StallCollector
 	s.StallCompressor += o.StallCompressor

@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleSpecsLoad parses and expands every committed campaign preset
+// under examples/sweeps — a preset that drifts from the spec format or
+// names an unregistered benchmark/scheme should fail here, not on a
+// cluster.
+func TestExampleSpecsLoad(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/sweeps/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example sweep specs found")
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			s, err := Load(p)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			jobs, err := s.Jobs()
+			if err != nil {
+				t.Fatalf("Jobs: %v", err)
+			}
+			if len(jobs) == 0 {
+				t.Fatalf("%s expands to no jobs", p)
+			}
+		})
+	}
+}

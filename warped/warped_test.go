@@ -95,8 +95,8 @@ func TestBenchmarkRegistryExposed(t *testing.T) {
 	if _, ok := warped.BenchmarkByName("pathfinder"); !ok {
 		t.Fatal("pathfinder missing")
 	}
-	if len(warped.ExperimentIDs()) != 29 {
-		t.Fatalf("expected 29 exhibits (20 paper + 5 ablations + 1 fault study + 3 scheme comparisons), got %d", len(warped.ExperimentIDs()))
+	if len(warped.ExperimentIDs()) != 33 {
+		t.Fatalf("expected 33 exhibits (20 paper + 5 ablations + 1 fault study + 3 scheme comparisons + 4 gemm tiling), got %d", len(warped.ExperimentIDs()))
 	}
 }
 
